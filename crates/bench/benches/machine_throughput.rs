@@ -1,0 +1,51 @@
+//! Criterion benchmark of whole-machine simulation throughput.
+//!
+//! Measures wall-clock cost per simulated interval for each scheduling
+//! mode — both a performance regression guard for the simulator and a
+//! sanity check that Tai Chi's extra machinery (probes, vCPU grants)
+//! does not blow up the event count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::MachineConfig;
+use taichi_cp::SynthCp;
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_sim::{Dist, Rng, SimTime};
+
+fn build(mode: Mode) -> Machine {
+    let mut m = Machine::new(MachineConfig::default(), mode);
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(0.21),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..8).map(CpuId).collect(),
+    ));
+    let synth = SynthCp::default();
+    let mut rng = Rng::new(1);
+    m.schedule_cp_batch(synth.workload(8, &mut rng), SimTime::ZERO);
+    m
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_20ms");
+    g.sample_size(10);
+    for mode in [Mode::Baseline, Mode::TaiChi, Mode::Type2] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut m = build(mode);
+                m.run_until(SimTime::from_millis(20));
+                m.kernel().finished_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 3: CDF of data-plane CPU utilization.
+//!
+//! The paper samples per-second DP utilization across hundreds of
+//! nodes for 12 hours (~1.2 M records) and finds 99.68 % of samples
+//! below 32.5 % — i.e. 67.5 % of each reserved DP CPU is idle at the
+//! p99. We reproduce the distribution with a diurnally modulated
+//! bursty arrival process calibrated to the same CDF shape, sampling
+//! per-50 ms windows over a 20 s run (the simulation equivalent of the
+//! fleet-wide per-second sweep).
+
+use taichi_bench::{emit, seed};
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::MachineConfig;
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_sim::report::Table;
+use taichi_sim::{Dist, SimDuration, SimTime};
+
+fn main() {
+    let cfg = MachineConfig {
+        seed: seed(),
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::Baseline);
+    // Diurnal profile: a slow daily swing at low load plus one rare
+    // provisioning spike per cycle — rates chosen so the p99 of
+    // per-window utilization lands near the paper's 32.5 % while the
+    // mean stays far lower (the over-provisioning story of §3.1).
+    let mut profile: Vec<f64> = (0..100)
+        .map(|i| 1.0 + 0.6 * (i as f64 / 100.0 * std::f64::consts::TAU).sin())
+        .collect();
+    profile[84] = 3.7; // nightly re-provisioning burst
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::Modulated {
+            base_gap_us: Dist::exponential(1.5 / 0.10 / 8.0),
+            profile,
+            slot: SimDuration::from_millis(200),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..8).map(CpuId).collect(),
+    ));
+    m.enable_util_sampling(SimDuration::from_millis(50));
+    m.run_until(SimTime::from_secs(20));
+
+    let mut samples: Vec<f64> = m.util_samples().to_vec();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("utilization is finite"));
+    let n = samples.len();
+    let frac_below = |x: f64| samples.iter().filter(|&&s| s < x).count() as f64 / n as f64;
+
+    let mut t = Table::new(
+        "Figure 3: CDF of data-plane CPU utilization",
+        &["utilization <", "fraction of samples"],
+    );
+    for x in [0.05, 0.10, 0.15, 0.20, 0.25, 0.325, 0.40, 0.50, 0.75, 1.0] {
+        t.row(&[
+            format!("{:.1}%", x * 100.0),
+            format!("{:.4}", frac_below(x)),
+        ]);
+    }
+    emit("fig3_dp_util_cdf", &t);
+
+    println!(
+        "paper: 99.68% of samples < 32.5% | measured: {:.2}% of {} samples < 32.5%",
+        frac_below(0.325) * 100.0,
+        n
+    );
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    println!("mean DP utilization {:.1}% (idle {:.1}%)", mean * 100.0, (1.0 - mean) * 100.0);
+}

@@ -1,0 +1,61 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every `figN`/`tableN` binary prints an aligned table to stdout and
+//! writes the same rows as CSV under `target/experiments/`, so the
+//! paper's figures can be regenerated from a single
+//! `cargo run -p taichi-bench --bin <id>`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use taichi_sim::report::Table;
+
+/// Directory where experiment CSVs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints `table` and persists its CSV as `<name>.csv`.
+pub fn emit(name: &str, table: &Table) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Standard seed used by all experiment binaries (override with the
+/// `TAICHI_SEED` environment variable).
+pub fn seed() -> u64 {
+    std::env::var("TAICHI_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1CE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_default() {
+        // Test environments do not set TAICHI_SEED.
+        if std::env::var("TAICHI_SEED").is_err() {
+            assert_eq!(seed(), 0xD1CE);
+        }
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1".into()]);
+        emit("selftest", &t);
+        let p = results_dir().join("selftest.csv");
+        assert!(p.exists());
+        let _ = std::fs::remove_file(p);
+    }
+}

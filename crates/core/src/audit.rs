@@ -1,0 +1,322 @@
+//! On-demand instruction-level auditing (§8).
+//!
+//! Hybrid virtualization gives the OS a spare superpower: any thread
+//! can be moved into a vCPU context *on demand*, where every
+//! privileged operation it performs VM-exits and can be monitored,
+//! logged, or intercepted — then moved back, with zero persistent
+//! overhead and zero changes to the audited application. The paper
+//! sketches this in the Discussions section; this module implements
+//! it on the kernel model:
+//!
+//! 1. [`AuditSession::begin`] registers a fresh auditing vCPU through
+//!    the orchestrator's hotplug path and re-binds the target thread to
+//!    it via plain CPU affinity (deferred past any non-preemptible
+//!    routine the thread is currently inside, like a real migration).
+//! 2. While the session is open, the audit domain's activity is
+//!    tracked: kernel entries (syscalls and non-preemptible routines
+//!    are the privileged operations visible to a hypervisor), audited
+//!    CPU time, and segment retirements.
+//! 3. [`AuditSession::end`] restores the original affinity and
+//!    offlines the auditing vCPU once it drains.
+
+use crate::orchestrator::IpiOrchestrator;
+use taichi_hw::CpuId;
+use taichi_os::{CpuSet, Kernel, KernelAction, Segment, ThreadId};
+use taichi_sim::{SimDuration, SimTime};
+
+/// What an audit session observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Program segments the thread retired while audited.
+    pub segments_retired: u64,
+    /// Kernel entries among them (syscalls + non-preemptible routines)
+    /// — the privileged operations a hypervisor-level auditor sees.
+    pub kernel_entries: u64,
+    /// CPU time consumed inside the audit domain.
+    pub audited_cpu_time: SimDuration,
+    /// How long the session was open (wall-clock, simulated).
+    pub session_length: SimDuration,
+}
+
+/// An open auditing session for one thread.
+#[derive(Clone, Debug)]
+pub struct AuditSession {
+    target: ThreadId,
+    audit_cpu: CpuId,
+    original_affinity: CpuSet,
+    started_at: SimTime,
+    pc_at_start: usize,
+    cpu_time_at_start: SimDuration,
+}
+
+impl AuditSession {
+    /// Opens an audit session: registers a dedicated auditing vCPU and
+    /// migrates `target` onto it.
+    ///
+    /// Returns the session plus the kernel actions the driver must
+    /// apply (migration rearms). The migration itself honours
+    /// non-preemptible sections — the thread enters the audit domain
+    /// at its next scheduling point.
+    pub fn begin(
+        kernel: &mut Kernel,
+        orchestrator: &mut IpiOrchestrator,
+        target: ThreadId,
+        now: SimTime,
+    ) -> (AuditSession, Vec<KernelAction>) {
+        let ids = orchestrator.register_vcpus(kernel, 1, now);
+        let audit_cpu = ids[0];
+        let original_affinity = kernel.thread_info(target).affinity;
+        let pc_at_start = kernel.thread_info(target).pc;
+        let cpu_time_at_start = kernel.thread_info(target).cpu_time;
+        let acts = kernel.set_affinity(target, CpuSet::single(audit_cpu), now);
+        (
+            AuditSession {
+                target,
+                audit_cpu,
+                original_affinity,
+                started_at: now,
+                pc_at_start,
+                cpu_time_at_start,
+            },
+            acts,
+        )
+    }
+
+    /// The dedicated auditing vCPU's kernel CPU ID.
+    pub fn audit_cpu(&self) -> CpuId {
+        self.audit_cpu
+    }
+
+    /// The audited thread.
+    pub fn target(&self) -> ThreadId {
+        self.target
+    }
+
+    /// Closes the session: restores the original affinity, offlines
+    /// the auditing vCPU (once idle) and returns the report.
+    pub fn end(self, kernel: &mut Kernel, now: SimTime) -> (AuditReport, Vec<KernelAction>) {
+        let t = kernel.thread_info(self.target);
+        let pc_now = t.pc;
+        let program = t.program.clone();
+        let cpu_time_now = t.cpu_time;
+        let retired: &[Segment] = {
+            let segs = program.segments();
+            let hi = pc_now.min(segs.len());
+            let lo = self.pc_at_start.min(hi);
+            &segs[lo..hi]
+        };
+        let kernel_entries = retired
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Segment::KernelPreemptible(_) | Segment::NonPreemptible { .. }
+                )
+            })
+            .count() as u64;
+        let report = AuditReport {
+            segments_retired: retired.len() as u64,
+            kernel_entries,
+            audited_cpu_time: cpu_time_now.saturating_sub(self.cpu_time_at_start),
+            session_length: now.saturating_since(self.started_at),
+        };
+        let mut acts = kernel.set_affinity(self.target, self.original_affinity, now);
+        // Tear the audit vCPU down once nothing runs on it; a busy
+        // audit CPU (the thread is mid-section) simply stays online
+        // until the deferred migration completes — callers may retry.
+        let (_, off_acts) = kernel.offline_cpu(self.audit_cpu, now);
+        acts.extend(off_acts);
+        (report, acts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taichi_os::{KernelConfig, Program, ThreadState};
+    use taichi_sim::EventQueue;
+
+    /// A persistent driver: pending wake timers survive across
+    /// successive `run_until` calls (unlike a one-shot drive loop).
+    struct Harness {
+        wakes: Vec<(ThreadId, SimTime)>,
+        now: SimTime,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                wakes: Vec::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn absorb(&mut self, acts: Vec<KernelAction>) {
+            for a in acts {
+                if let KernelAction::ArmWakeup { tid, at } = a {
+                    self.wakes.push((tid, at));
+                }
+            }
+        }
+
+        fn run_until(&mut self, kernel: &mut Kernel, until: SimTime) {
+            #[derive(Debug)]
+            enum Ev {
+                Decide(CpuId),
+                Wake(ThreadId),
+            }
+            let mut q: EventQueue<Ev> = EventQueue::new();
+            let arm = |k: &Kernel, q: &mut EventQueue<Ev>, cpu: CpuId, now: SimTime| {
+                if let Some(t) = k.next_decision_time(cpu, now) {
+                    q.schedule(t.max(now), Ev::Decide(cpu));
+                }
+            };
+            for &(tid, at) in &self.wakes {
+                q.schedule(at.max(self.now), Ev::Wake(tid));
+            }
+            self.wakes.clear();
+            for cpu in kernel.known_cpus() {
+                arm(kernel, &mut q, cpu, self.now);
+            }
+            while let Some(t) = q.peek_time() {
+                if t > until {
+                    break;
+                }
+                let (t, ev) = q.pop().expect("peeked");
+                self.now = t;
+                let acts = match ev {
+                    Ev::Decide(cpu) => kernel.decide(cpu, t),
+                    Ev::Wake(tid) => kernel.wakeup(tid, t),
+                };
+                for a in acts {
+                    match a {
+                        KernelAction::ArmWakeup { tid, at } => {
+                            q.schedule(at, Ev::Wake(tid));
+                        }
+                        KernelAction::Rearm { cpu } => arm(kernel, &mut q, cpu, t),
+                        _ => {}
+                    }
+                }
+            }
+            // Preserve unfired wake timers for the next run.
+            while let Some((t, ev)) = q.pop() {
+                if let Ev::Wake(tid) = ev {
+                    self.wakes.push((tid, t));
+                }
+            }
+            self.now = until.max(self.now);
+        }
+    }
+
+    fn drive(kernel: &mut Kernel, pending: Vec<KernelAction>, until: SimTime) {
+        let mut h = Harness::new();
+        h.absorb(pending);
+        h.run_until(kernel, until);
+    }
+
+    fn setup() -> (Kernel, IpiOrchestrator) {
+        let cp: Vec<CpuId> = (8..12).map(CpuId).collect();
+        (
+            Kernel::new(KernelConfig::default(), &cp),
+            IpiOrchestrator::new(12),
+        )
+    }
+
+    #[test]
+    fn audit_counts_kernel_entries() {
+        let (mut k, mut orch) = setup();
+        let p = Program::new()
+            .compute(SimDuration::from_micros(200))
+            .syscall(SimDuration::from_micros(100))
+            .critical(SimDuration::from_micros(300))
+            .syscall(SimDuration::from_micros(100))
+            .compute(SimDuration::from_micros(200));
+        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        // Begin auditing immediately: the whole program runs audited.
+        let (session, mut a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
+        let mut pending = acts;
+        pending.append(&mut a2);
+        drive(&mut k, pending, SimTime::from_secs(1));
+        assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
+        let end = SimTime::from_secs(1);
+        let (report, _) = session.end(&mut k, end);
+        assert_eq!(report.segments_retired, 5);
+        assert_eq!(report.kernel_entries, 3, "2 syscalls + 1 routine");
+        assert_eq!(
+            report.audited_cpu_time,
+            SimDuration::from_micros(900)
+        );
+        assert_eq!(report.session_length, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn audited_thread_runs_only_on_audit_cpu() {
+        let (mut k, mut orch) = setup();
+        let p = Program::new().compute(SimDuration::from_millis(2));
+        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        let (session, mut a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
+        let mut pending = acts;
+        pending.append(&mut a2);
+        drive(&mut k, pending, SimTime::from_secs(1));
+        // The audit CPU did the work: its utilization is non-zero and
+        // the thread finished there.
+        let u = k.cpu_utilization(session.audit_cpu(), SimTime::from_millis(4));
+        assert!(u > 0.3, "audit cpu utilization {u}");
+        assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
+    }
+
+    #[test]
+    fn end_restores_affinity_and_offlines_vcpu() {
+        let (mut k, mut orch) = setup();
+        let p = Program::new()
+            .compute(SimDuration::from_micros(100))
+            .sleep(SimDuration::from_millis(50))
+            .compute(SimDuration::from_micros(100));
+        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        let (session, a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
+        let mut h = Harness::new();
+        h.absorb(acts);
+        h.absorb(a2);
+        // Run until the thread parks in its sleep (audit CPU drains).
+        h.run_until(&mut k, SimTime::from_millis(10));
+        let audit_cpu = session.audit_cpu();
+        let (report, acts) = session.end(&mut k, SimTime::from_millis(10));
+        assert_eq!(report.segments_retired, 2, "compute + sleep retired");
+        assert_eq!(
+            k.thread_info(tid).affinity,
+            CpuSet::range(8, 12),
+            "affinity restored"
+        );
+        assert_eq!(
+            k.cpu_phase(audit_cpu),
+            Some(taichi_os::kernel::CpuPhase::Offline),
+            "audit vCPU torn down"
+        );
+        // The thread still completes on its original CPUs.
+        h.absorb(acts);
+        h.run_until(&mut k, SimTime::from_secs(1));
+        assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
+    }
+
+    #[test]
+    fn mid_execution_audit_window() {
+        let (mut k, mut orch) = setup();
+        let p = Program::new()
+            .compute(SimDuration::from_millis(1))
+            .syscall(SimDuration::from_millis(1))
+            .compute(SimDuration::from_millis(1));
+        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        // Let the first segment mostly run un-audited.
+        let mut h = Harness::new();
+        h.absorb(acts);
+        h.run_until(&mut k, SimTime::from_micros(500));
+        let (session, a2) =
+            AuditSession::begin(&mut k, &mut orch, tid, SimTime::from_micros(500));
+        h.absorb(a2);
+        h.run_until(&mut k, SimTime::from_secs(1));
+        let (report, _) = session.end(&mut k, SimTime::from_secs(1));
+        // Everything after the audit began is attributed to it.
+        assert!(report.audited_cpu_time >= SimDuration::from_millis(2));
+        assert!(report.kernel_entries >= 1);
+    }
+}

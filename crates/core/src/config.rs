@@ -1,0 +1,119 @@
+//! Configuration for the Tai Chi framework and the machine composition.
+
+use taichi_dp::DpServiceConfig;
+use taichi_hw::accel::AcceleratorConfig;
+use taichi_hw::SmartNicSpec;
+use taichi_os::KernelConfig;
+use taichi_sim::SimDuration;
+use taichi_virt::{Type2Model, VirtCosts};
+
+/// Tuning knobs for the Tai Chi scheduler proper (§4).
+#[derive(Clone, Debug)]
+pub struct TaiChiConfig {
+    /// Number of vCPUs to create and register as native CPUs.
+    ///
+    /// The paper over-provisions the control plane; with 4 CP pCPUs the
+    /// production deployment registers roughly the DP CPU count.
+    pub num_vcpus: u32,
+    /// Initial (and post-probe-reset) vCPU time slice (§4.1: 50 µs).
+    pub initial_slice: SimDuration,
+    /// Cap on the doubled time slice.
+    pub max_slice: SimDuration,
+    /// Initial empty-poll yield threshold N (§4.3).
+    pub initial_yield_threshold: u32,
+    /// Lower bound on N.
+    pub min_yield_threshold: u32,
+    /// Upper bound on N.
+    pub max_yield_threshold: u32,
+    /// Latency of raising + entering the dedicated softirq handler
+    /// that performs the context switch (§4.1).
+    pub softirq_latency: SimDuration,
+    /// §9 future work: multi-dimensional idle assessment. When set,
+    /// the yield decision also consults the accelerator pipeline and
+    /// vetoes a yield while packets for the CPU are still in flight
+    /// (ingested but not yet visible to the poll loop) — avoiding
+    /// guaranteed false-positive yields.
+    pub pipeline_aware_yield: bool,
+    /// §9 future work: cache/TLB isolation between vCPU grants and the
+    /// data-plane service (e.g. way-partitioning). Removes the
+    /// post-grant pollution surcharge entirely.
+    pub cache_isolation: bool,
+    /// Virtualization costs (VM-enter/exit, posted interrupts).
+    pub costs: VirtCosts,
+}
+
+impl Default for TaiChiConfig {
+    fn default() -> Self {
+        TaiChiConfig {
+            num_vcpus: 8,
+            initial_slice: SimDuration::from_micros(50),
+            max_slice: SimDuration::from_micros(100),
+            initial_yield_threshold: 200,
+            min_yield_threshold: 25,
+            max_yield_threshold: 6_400,
+            softirq_latency: SimDuration::from_nanos(600),
+            pipeline_aware_yield: false,
+            cache_isolation: false,
+            costs: VirtCosts::default(),
+        }
+    }
+}
+
+/// Full-machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// SoC description (CPU counts, link speeds).
+    pub spec: SmartNicSpec,
+    /// Tai Chi knobs (ignored in baseline/type-2 modes).
+    pub taichi: TaiChiConfig,
+    /// Kernel scheduler knobs.
+    pub kernel: KernelConfig,
+    /// Accelerator pipeline timings.
+    pub accel: AcceleratorConfig,
+    /// Per-DP-service knobs.
+    pub dp: DpServiceConfig,
+    /// Type-2 baseline model (used only in `Mode::Type2`).
+    pub type2: Type2Model,
+    /// Execution tax applied to DP services in `Mode::TaiChiVdp`
+    /// (running the data plane inside vCPUs; §6.3 measures ~7 %).
+    pub vdp_exec_tax: f64,
+    /// RNG seed — identical seeds give bit-identical runs.
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            spec: SmartNicSpec::default(),
+            taichi: TaiChiConfig::default(),
+            kernel: KernelConfig::default(),
+            accel: AcceleratorConfig::default(),
+            dp: DpServiceConfig::default(),
+            type2: Type2Model::default(),
+            vdp_exec_tax: 1.08,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = TaiChiConfig::default();
+        assert_eq!(c.initial_slice, SimDuration::from_micros(50));
+        assert_eq!(c.costs.switch_latency(), SimDuration::from_micros(2));
+        assert!(c.min_yield_threshold < c.initial_yield_threshold);
+        assert!(c.initial_yield_threshold < c.max_yield_threshold);
+    }
+
+    #[test]
+    fn machine_defaults_sane() {
+        let m = MachineConfig::default();
+        assert_eq!(m.spec.num_cpus, 12);
+        assert_eq!(m.spec.dp_cpus, 8);
+        assert!(m.vdp_exec_tax > 1.0);
+    }
+}

@@ -1,0 +1,964 @@
+//! Full-system composition: the SmartNIC machine simulator.
+//!
+//! A [`Machine`] wires every substrate together — accelerator, rx
+//! rings, APIC fabric, kernel, DP services, CP tasks, vCPUs — and runs
+//! the discrete-event loop. [`Mode`] selects the scheduling regime
+//! under test:
+//!
+//! | Mode | CP placement | DP placement | Probes |
+//! |------|--------------|--------------|--------|
+//! | [`Mode::Baseline`] | 4 CP pCPUs (static) | 8 pCPUs native | — |
+//! | [`Mode::TaiChi`] | CP pCPUs + vCPUs | pCPUs native | SW + HW |
+//! | [`Mode::TaiChiNoHwProbe`] | CP pCPUs + vCPUs | pCPUs native | SW only |
+//! | [`Mode::TaiChiVdp`] | CP pCPUs + vCPUs | inside vCPUs (taxed) | SW + HW |
+//! | [`Mode::Type2`] | guest OS (taxed, RPC IPC) | 7 pCPUs (1 lost to QEMU) | — |
+//!
+//! # The two scheduling paths (Fig. 7b)
+//!
+//! **DP→CP yield**: a DP service's empty-poll count crosses the
+//! adaptive threshold → `DpIdle` event → the vCPU scheduler picks a
+//! runnable vCPU round-robin, raises the dedicated softirq, flips the
+//! hardware probe register to V-state, and VM-enters the vCPU; the
+//! kernel CPU behind the vCPU is resumed for exactly the grant.
+//!
+//! **CP→DP preempt**: a packet for a V-state CPU arrives at the
+//! accelerator → probe IRQ → VM-exit begins immediately and completes
+//! within the 2 µs switch latency, overlapped with the 3.2 µs
+//! preprocess+transfer window, so the DP service is back on the core
+//! before the packet reaches shared memory.
+
+use crate::config::MachineConfig;
+use crate::orchestrator::{IpiOrchestrator, RouteDecision};
+use crate::probe_sw::AdaptiveYield;
+use crate::slice::AdaptiveSlice;
+use crate::vcpu_sched::VcpuScheduler;
+
+use taichi_cp::{TaskFactory, VmCreateRequest, VmStartupTracker};
+use taichi_dp::{DpService, TrafficGen};
+use taichi_hw::{
+    Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, Packet,
+};
+use taichi_os::{CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
+use taichi_sim::{EventQueue, Rng, SimDuration, SimTime};
+use taichi_virt::{VcpuState, VmExitReason};
+
+use std::collections::HashMap;
+
+/// Scheduling regime under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Production static partitioning (the paper's SOTA baseline).
+    Baseline,
+    /// Full Tai Chi.
+    TaiChi,
+    /// Tai Chi with the hardware workload probe disabled (Table 5
+    /// ablation): vCPUs are only reclaimed at slice expiry.
+    TaiChiNoHwProbe,
+    /// Type-1-like: Tai Chi, but DP services also execute in vCPU
+    /// contexts and pay the guest execution tax (§6.3's Tai Chi-vDP).
+    TaiChiVdp,
+    /// Traditional type-2 (QEMU+KVM): CP in a separate guest OS, one
+    /// DP pCPU lost to emulation, IPC broken into RPC.
+    Type2,
+}
+
+impl Mode {
+    /// True for the modes that run the Tai Chi scheduler.
+    pub fn has_taichi(self) -> bool {
+        matches!(self, Mode::TaiChi | Mode::TaiChiNoHwProbe | Mode::TaiChiVdp)
+    }
+
+    /// All modes, in evaluation order.
+    pub fn all() -> [Mode; 5] {
+        [
+            Mode::Baseline,
+            Mode::TaiChi,
+            Mode::TaiChiNoHwProbe,
+            Mode::TaiChiVdp,
+            Mode::Type2,
+        ]
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Mode::Baseline => "baseline",
+            Mode::TaiChi => "taichi",
+            Mode::TaiChiNoHwProbe => "taichi-no-hwprobe",
+            Mode::TaiChiVdp => "taichi-vdp",
+            Mode::Type2 => "type2",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    NextArrival { gen: usize },
+    Delivered { packet: Packet },
+    ProbeIrq { host: CpuId },
+    DpIdle { host: CpuId, gen: u64 },
+    VcpuEntered { idx: usize },
+    VcpuSliceExpire { idx: usize, gen: u64 },
+    VcpuExited { idx: usize },
+    KernelDecide { cpu: CpuId, gen: u64 },
+    KernelWake { tid: ThreadId },
+    DpBurstDone { si: usize },
+    VmCreate {
+        request: VmCreateRequest,
+        programs: Vec<Program>,
+    },
+    SpawnBatch {
+        programs: Vec<Program>,
+        batch: usize,
+    },
+    UtilSample,
+}
+
+/// The full-system simulator.
+pub struct Machine {
+    cfg: MachineConfig,
+    mode: Mode,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    rng: Rng,
+    bootstrapped: bool,
+
+    accel: Accelerator,
+    hw_probe: HwWorkloadProbe,
+    apic: ApicFabric,
+    kernel: Kernel,
+    orchestrator: IpiOrchestrator,
+    vsched: VcpuScheduler,
+    yield_ctl: AdaptiveYield,
+    slice_ctl: AdaptiveSlice,
+
+    services: Vec<DpService>,
+    dp_cpu_ids: Vec<CpuId>,
+    cp_cpu_ids: Vec<CpuId>,
+    cp_affinity: CpuSet,
+
+    generators: Vec<TrafficGen>,
+    /// One independent RNG stream per generator, derived from the seed
+    /// alone — so the offered load is bit-identical across modes and
+    /// unaffected by how the run consumes the machine RNG.
+    gen_rngs: Vec<Rng>,
+    pending_packet: Vec<Option<Packet>>,
+
+    kernel_gen: HashMap<CpuId, u64>,
+    dp_idle_gen: Vec<u64>,
+    dp_busy: Vec<bool>,
+    /// Packets ingested into the accelerator but not yet delivered,
+    /// per DP CPU (the §9 pipeline-occupancy signal).
+    dp_inflight: Vec<u32>,
+    yield_vetoes: u64,
+    vcpu_gen: Vec<u64>,
+    pending_preempt: Vec<bool>,
+    yield_armed: Vec<bool>,
+    grant_host: Vec<Option<CpuId>>,
+    cp_host_suspended: Vec<bool>,
+
+    trackers: Vec<VmStartupTracker>,
+    tid_to_tracker: HashMap<ThreadId, usize>,
+    vm_startup_times: Vec<SimDuration>,
+
+    batches: Vec<Vec<ThreadId>>,
+
+    util_samples: Vec<f64>,
+    util_interval: Option<SimDuration>,
+
+    posted_interrupts: u64,
+}
+
+impl Machine {
+    /// Builds a machine in the given mode.
+    pub fn new(cfg: MachineConfig, mode: Mode) -> Self {
+        let spec = cfg.spec.clone();
+        let rng = Rng::new(cfg.seed);
+        let dp_count = match mode {
+            Mode::Type2 => cfg.type2.effective_dp_cpus(spec.dp_cpus),
+            _ => spec.dp_cpus,
+        };
+        let dp_cpu_ids: Vec<CpuId> = (0..dp_count).map(CpuId).collect();
+        let cp_cpu_ids = spec.cp_cpu_ids();
+
+        let mut kernel = Kernel::new(cfg.kernel.clone(), &cp_cpu_ids);
+        let mut orchestrator = IpiOrchestrator::new(spec.num_cpus);
+        let num_vcpus = if mode.has_taichi() {
+            cfg.taichi.num_vcpus
+        } else {
+            0
+        };
+        let vcpu_ids = orchestrator.register_vcpus(&mut kernel, num_vcpus, SimTime::ZERO);
+        for &v in &vcpu_ids {
+            // vCPUs start with no physical time.
+            kernel.pause_cpu(v, SimTime::ZERO);
+        }
+        let vsched = VcpuScheduler::new(&vcpu_ids, spec.num_cpus);
+
+        let mut dp_cfg = cfg.dp.clone();
+        if cfg.taichi.cache_isolation {
+            // §9: cache/TLB partitioning removes grant pollution.
+            dp_cfg.pollution_tax = 1.0;
+        }
+        let mut services: Vec<DpService> = dp_cpu_ids
+            .iter()
+            .map(|&c| DpService::new(c, dp_cfg.clone()))
+            .collect();
+        if mode == Mode::TaiChiVdp {
+            for s in &mut services {
+                s.set_exec_tax(cfg.vdp_exec_tax);
+            }
+        }
+        if mode == Mode::Type2 {
+            for s in &mut services {
+                s.set_exec_tax(cfg.type2.dp_interference_tax);
+            }
+        }
+
+        let mut cp_affinity: CpuSet = cp_cpu_ids.iter().copied().collect();
+        for &v in &vcpu_ids {
+            cp_affinity.insert(v);
+        }
+
+        let mut hw_probe = HwWorkloadProbe::new(spec.num_cpus);
+        if !matches!(mode, Mode::TaiChi | Mode::TaiChiVdp) {
+            hw_probe.set_enabled(false);
+        }
+
+        let yield_ctl = AdaptiveYield::new(
+            spec.num_cpus,
+            cfg.taichi.initial_yield_threshold,
+            cfg.taichi.min_yield_threshold,
+            cfg.taichi.max_yield_threshold,
+        );
+        let slice_ctl = AdaptiveSlice::new(
+            spec.num_cpus,
+            cfg.taichi.initial_slice,
+            cfg.taichi.max_slice,
+        );
+
+        let n_v = vcpu_ids.len();
+        Machine {
+            accel: Accelerator::new(cfg.accel.clone()),
+            hw_probe,
+            apic: ApicFabric::new(
+                spec.num_cpus + num_vcpus,
+                SimDuration::from_nanos(300),
+            ),
+            kernel,
+            orchestrator,
+            vsched,
+            yield_ctl,
+            slice_ctl,
+            services,
+            dp_cpu_ids,
+            cp_cpu_ids,
+            cp_affinity,
+            generators: Vec::new(),
+            gen_rngs: Vec::new(),
+            pending_packet: Vec::new(),
+            kernel_gen: HashMap::new(),
+            dp_idle_gen: vec![0; dp_count as usize],
+            dp_busy: vec![false; dp_count as usize],
+            dp_inflight: vec![0; dp_count as usize],
+            yield_vetoes: 0,
+            vcpu_gen: vec![0; n_v],
+            pending_preempt: vec![false; n_v],
+            yield_armed: vec![false; dp_count as usize],
+            grant_host: vec![None; n_v],
+            cp_host_suspended: vec![false; spec.num_cpus as usize],
+            trackers: Vec::new(),
+            tid_to_tracker: HashMap::new(),
+            vm_startup_times: Vec::new(),
+            batches: Vec::new(),
+            util_samples: Vec::new(),
+            util_interval: None,
+            posted_interrupts: 0,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng,
+            bootstrapped: false,
+            cfg,
+            mode,
+        }
+    }
+
+    /// The mode this machine runs in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    // ---------------------------------------------------------------
+    // Workload setup.
+    // ---------------------------------------------------------------
+
+    /// Adds a traffic generator; arrivals flow once the machine runs.
+    ///
+    /// Each generator gets its own RNG stream derived purely from the
+    /// seed and its index, so identical seeds offer bit-identical
+    /// arrival processes to every scheduling mode.
+    pub fn add_traffic(&mut self, mut generator: TrafficGen) {
+        let idx = self.generators.len();
+        let mut rng = Rng::stream(self.cfg.seed, idx as u64);
+        let first = generator.next_packet(&mut rng);
+        let at = first.submitted_at.max(self.now);
+        self.generators.push(generator);
+        self.gen_rngs.push(rng);
+        self.pending_packet.push(Some(first));
+        self.queue.schedule(at, Event::NextArrival { gen: idx });
+    }
+
+    /// Spawns one CP task now with the mode's default CP affinity.
+    pub fn spawn_cp_now(&mut self, program: Program) -> ThreadId {
+        let program = self.maybe_transform(program);
+        let (tid, acts) = self.kernel.spawn(program, self.cp_affinity, self.now);
+        self.apply_kernel_actions(acts);
+        tid
+    }
+
+    /// Schedules a batch of CP tasks to spawn at `at`; returns a batch
+    /// handle whose thread IDs become available once the batch fires
+    /// (see [`Machine::batch_threads`]).
+    pub fn schedule_cp_batch(&mut self, programs: Vec<Program>, at: SimTime) -> usize {
+        let batch = self.batches.len();
+        self.batches.push(Vec::new());
+        self.queue
+            .schedule(at.max(self.now), Event::SpawnBatch { programs, batch });
+        batch
+    }
+
+    /// Thread IDs spawned for a batch (empty until the batch fires).
+    pub fn batch_threads(&self, batch: usize) -> &[ThreadId] {
+        &self.batches[batch]
+    }
+
+    /// Schedules a VM-creation request; device programs are generated
+    /// deterministically from the machine RNG.
+    pub fn schedule_vm_create(&mut self, request: VmCreateRequest, factory: &TaskFactory) {
+        let programs = request.device_programs(factory, &mut self.rng);
+        let at = request.issued_at.max(self.now);
+        self.queue
+            .schedule(at, Event::VmCreate { request, programs });
+    }
+
+    /// Enables periodic DP utilization sampling (for the Fig. 3 CDF).
+    pub fn enable_util_sampling(&mut self, interval: SimDuration) {
+        self.util_interval = Some(interval);
+        self.queue.schedule(self.now + interval, Event::UtilSample);
+    }
+
+    /// Applies the type-2 program transformation (guest taxes + IPC→RPC
+    /// penalties); identity in all other modes.
+    fn maybe_transform(&self, program: Program) -> Program {
+        if self.mode != Mode::Type2 {
+            return program;
+        }
+        let m = &self.cfg.type2;
+        let mut out = Program::new();
+        for seg in program.segments() {
+            let seg = match seg {
+                Segment::UserCompute(d) => Segment::UserCompute(m.guest_cp_time(*d)),
+                Segment::KernelPreemptible(d) => {
+                    // Guest CP syscalls coordinating with the host-side
+                    // data plane cross the OS boundary: guest tax plus
+                    // the IPC→RPC penalty.
+                    Segment::KernelPreemptible(m.ipc_cost(m.guest_cp_time(*d)))
+                }
+                Segment::NonPreemptible { dur, lock } => Segment::NonPreemptible {
+                    dur: m.guest_cp_time(*dur),
+                    lock: *lock,
+                },
+                other => other.clone(),
+            };
+            out = out.then(seg);
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------
+    // Event loop.
+    // ---------------------------------------------------------------
+
+    /// Runs the machine until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.bootstrap();
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked non-empty");
+            self.now = at;
+            self.handle(ev);
+        }
+        self.now = t.max(self.now);
+    }
+
+    fn bootstrap(&mut self) {
+        if self.bootstrapped {
+            return;
+        }
+        self.bootstrapped = true;
+        for cpu in self.kernel.known_cpus() {
+            self.rearm_kernel(cpu);
+        }
+        if self.mode.has_taichi() {
+            for i in 0..self.services.len() {
+                let host = self.dp_cpu_ids[i];
+                self.arm_dp_idle(host);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::NextArrival { gen } => self.on_next_arrival(gen),
+            Event::Delivered { packet } => self.on_delivered(packet),
+            Event::DpBurstDone { si } => self.on_burst_done(si),
+            Event::ProbeIrq { host } => self.on_probe_irq(host),
+            Event::DpIdle { host, gen } => self.on_dp_idle(host, gen),
+            Event::VcpuEntered { idx } => self.on_vcpu_entered(idx),
+            Event::VcpuSliceExpire { idx, gen } => self.on_slice_expire(idx, gen),
+            Event::VcpuExited { idx } => self.on_vcpu_exited(idx),
+            Event::KernelDecide { cpu, gen } => self.on_kernel_decide(cpu, gen),
+            Event::KernelWake { tid } => {
+                let acts = self.kernel.wakeup(tid, self.now);
+                self.apply_kernel_actions(acts);
+            }
+            Event::VmCreate { request, programs } => self.on_vm_create(request, programs),
+            Event::SpawnBatch { programs, batch } => {
+                for p in programs {
+                    let p = self.maybe_transform(p);
+                    let (tid, acts) = self.kernel.spawn(p, self.cp_affinity, self.now);
+                    self.batches[batch].push(tid);
+                    self.apply_kernel_actions(acts);
+                }
+            }
+            Event::UtilSample => {
+                let now = self.now;
+                for s in &mut self.services {
+                    self.util_samples.push(s.sample_utilization(now));
+                }
+                if let Some(iv) = self.util_interval {
+                    self.queue.schedule(self.now + iv, Event::UtilSample);
+                }
+            }
+        }
+        self.fill_idle_cp_hosts();
+    }
+
+    /// Work-conserving vCPU multiplexing over the control plane's own
+    /// pCPUs: a CP pCPU with nothing native to run hosts a runnable
+    /// vCPU for one slice. Without this, a thread that is *current* on
+    /// a descheduled vCPU would strand whenever the data plane has no
+    /// harvestable idle cycles (the kernel cannot migrate a running
+    /// task off a CPU, exactly like Linux). This is the same placement
+    /// machinery §4.1 uses for the lock-safety CP-pCPU fallback.
+    fn fill_idle_cp_hosts(&mut self) {
+        if !self.mode.has_taichi() {
+            return;
+        }
+        for i in 0..self.cp_cpu_ids.len() {
+            let cp = self.cp_cpu_ids[i];
+            if self.cp_host_suspended[cp.index()]
+                || !self.vsched.host_free(cp)
+                || self.kernel.cpu_load(cp) > 0
+            {
+                continue;
+            }
+            let kernel = &self.kernel;
+            let orch = &self.orchestrator;
+            let Some(idx) = self
+                .vsched
+                .pick_runnable(|v| kernel.cpu_has_work(orch.vcpu_cpu_id(v)))
+            else {
+                break;
+            };
+            self.place_vcpu(idx, cp);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Packet path.
+    // ---------------------------------------------------------------
+
+    fn on_next_arrival(&mut self, gen: usize) {
+        let packet = self.pending_packet[gen]
+            .take()
+            .expect("NextArrival implies a pending packet");
+        let next = self.generators[gen].next_packet(&mut self.gen_rngs[gen]);
+        let at = next.submitted_at.max(self.now);
+        self.pending_packet[gen] = Some(next);
+        self.queue.schedule(at, Event::NextArrival { gen });
+        self.ingest_packet(packet);
+    }
+
+    fn ingest_packet(&mut self, mut packet: Packet) {
+        if let Some(si) = self.dp_index(packet.dest_cpu) {
+            self.dp_inflight[si] += 1;
+        }
+        let out = self.accel.ingest(&mut packet, self.now, &mut self.hw_probe);
+        if let Some(cpu) = out.probe_irq {
+            let irq_arrives = out.irq_at + self.apic.latency();
+            self.queue
+                .schedule(irq_arrives.max(self.now), Event::ProbeIrq { host: cpu });
+        }
+        self.queue
+            .schedule(out.delivered_at.max(self.now), Event::Delivered { packet });
+    }
+
+    fn on_delivered(&mut self, packet: Packet) {
+        let host = packet.dest_cpu;
+        let Some(si) = self.dp_index(host) else {
+            return; // CPU lost to emulation in type-2: no service
+        };
+        self.dp_inflight[si] = self.dp_inflight[si].saturating_sub(1);
+        self.services[si].enqueue(packet, self.now);
+        self.yield_armed[si] = false;
+        if self.vsched.host_free(host) {
+            self.start_processing(host);
+            return;
+        }
+        // A vCPU occupies the core. The probe's arrival-time check can
+        // race with a yield that begins while the packet is in flight
+        // through the 3.2 µs pipeline (the core was still P-state at
+        // ingest), so the probe re-checks at shared-memory delivery —
+        // stage ③ runs through the same accelerator, making the
+        // second check as cheap as the first.
+        if self.hw_probe.is_enabled() {
+            if let Some(idx) = self.vsched.occupant(host) {
+                match self.vsched.vcpu(idx).state() {
+                    VcpuState::Running { .. } => {
+                        self.begin_vcpu_exit(idx, VmExitReason::HwProbe);
+                    }
+                    VcpuState::Entering { .. } => {
+                        self.pending_preempt[idx] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // The occupant's VM-exit path drains the backlog.
+    }
+
+    /// Starts (or continues) burst processing on an available DP core.
+    ///
+    /// Bursts are processed one event at a time so the service's real
+    /// per-core capacity bounds throughput: under overload the ring
+    /// backs up and drops, exactly like a saturated PMD.
+    fn start_processing(&mut self, host: CpuId) {
+        let Some(si) = self.dp_index(host) else { return };
+        if self.dp_busy[si] || !self.vsched.host_free(host) {
+            return;
+        }
+        if self.services[si].pending() == 0 {
+            self.arm_dp_idle(host);
+            return;
+        }
+        let done = self.services[si]
+            .process_burst(self.now, &mut self.rng)
+            .expect("pending > 0 implies a burst");
+        self.dp_busy[si] = true;
+        self.queue.schedule(done, Event::DpBurstDone { si });
+    }
+
+    fn on_burst_done(&mut self, si: usize) {
+        self.dp_busy[si] = false;
+        let host = self.dp_cpu_ids[si];
+        self.start_processing(host);
+    }
+
+    // ---------------------------------------------------------------
+    // DP→CP yield path.
+    // ---------------------------------------------------------------
+
+    fn arm_dp_idle(&mut self, host: CpuId) {
+        if !self.mode.has_taichi() {
+            return;
+        }
+        let Some(si) = self.dp_index(host) else { return };
+        if !self.vsched.host_free(host) {
+            return;
+        }
+        let threshold = self.yield_ctl.threshold(host);
+        let Some(t) = self.services[si].idle_notify_time(threshold) else {
+            return;
+        };
+        self.dp_idle_gen[si] += 1;
+        let gen = self.dp_idle_gen[si];
+        self.queue
+            .schedule(t.max(self.now), Event::DpIdle { host, gen });
+    }
+
+    fn on_dp_idle(&mut self, host: CpuId, gen: u64) {
+        let Some(si) = self.dp_index(host) else { return };
+        if self.dp_idle_gen[si] != gen {
+            return; // superseded by later activity
+        }
+        if self.dp_busy[si]
+            || !self.vsched.host_free(host)
+            || !self.services[si].is_idle(self.now)
+        {
+            return;
+        }
+        if self.cfg.taichi.pipeline_aware_yield && self.dp_inflight[si] > 0 {
+            // §9: packets are already in the accelerator pipeline for
+            // this CPU — yielding now would be a guaranteed false
+            // positive. Their delivery re-arms the idle probe.
+            self.yield_vetoes += 1;
+            return;
+        }
+        let kernel = &self.kernel;
+        let orch = &self.orchestrator;
+        let pick = self
+            .vsched
+            .pick_runnable(|i| kernel.cpu_has_work(orch.vcpu_cpu_id(i)));
+        match pick {
+            Some(idx) => self.place_vcpu(idx, host),
+            None => {
+                // Nothing runnable: stay armed so a CP kick can use
+                // this already-idle core immediately.
+                self.yield_armed[si] = true;
+            }
+        }
+    }
+
+    fn place_vcpu(&mut self, idx: usize, host: CpuId) {
+        if let Some(si) = self.dp_index(host) {
+            self.yield_armed[si] = false;
+        } else {
+            // Hosting on a CP pCPU (lock-safety fallback): suspend the
+            // native kernel context for the duration of the grant.
+            self.cp_host_suspended[host.index()] = true;
+            let acts = self.kernel.pause_cpu(host, self.now);
+            self.apply_kernel_actions(acts);
+        }
+        self.vsched.vcpu_mut(idx).place(host, self.now);
+        self.vsched.record_placement(idx, host);
+        self.grant_host[idx] = Some(host);
+        // The scheduler updates the hardware state table *before* the
+        // switch so packets arriving mid-enter still trigger the probe.
+        self.hw_probe.set_state(host, CpuExecState::VState);
+        // Raise the dedicated softirq whose handler performs the
+        // context switch, then VM-enter.
+        self.kernel.softirqs().raise(host, SoftirqKind::TaiChiVcpu);
+        self.kernel.softirqs().handle(host, SoftirqKind::TaiChiVcpu);
+        let enter_done =
+            self.now + self.cfg.taichi.softirq_latency + self.cfg.taichi.costs.vm_enter;
+        self.queue.schedule(enter_done, Event::VcpuEntered { idx });
+    }
+
+    fn on_vcpu_entered(&mut self, idx: usize) {
+        let host = self.grant_host[idx].expect("entered vCPU has a host");
+        let slice = self.slice_ctl.slice(host);
+        let slice_end = self.now + slice;
+        self.vsched.vcpu_mut(idx).enter_complete(self.now, slice_end);
+        let vid = self.orchestrator.vcpu_cpu_id(idx);
+        let acts = self.kernel.resume_cpu(vid, self.now);
+        self.apply_kernel_actions(acts);
+        if self.pending_preempt[idx] {
+            self.pending_preempt[idx] = false;
+            self.begin_vcpu_exit(idx, VmExitReason::HwProbe);
+            return;
+        }
+        if !self.kernel.cpu_has_work(vid) {
+            // Guest went idle between selection and entry: HLT out.
+            self.begin_vcpu_exit(idx, VmExitReason::GuestHalt);
+            return;
+        }
+        self.vcpu_gen[idx] += 1;
+        let gen = self.vcpu_gen[idx];
+        self.queue
+            .schedule(slice_end, Event::VcpuSliceExpire { idx, gen });
+    }
+
+    fn on_slice_expire(&mut self, idx: usize, gen: u64) {
+        if self.vcpu_gen[idx] != gen {
+            return;
+        }
+        if !matches!(self.vsched.vcpu(idx).state(), VcpuState::Running { .. }) {
+            return;
+        }
+        self.begin_vcpu_exit(idx, VmExitReason::SliceExpired);
+    }
+
+    fn begin_vcpu_exit(&mut self, idx: usize, reason: VmExitReason) {
+        let vid = self.orchestrator.vcpu_cpu_id(idx);
+        let acts = self.kernel.pause_cpu(vid, self.now);
+        self.apply_kernel_actions(acts);
+        self.vsched.vcpu_mut(idx).begin_exit(reason, self.now);
+        self.vcpu_gen[idx] += 1; // invalidate any pending slice timer
+        // Full switch latency (VM-exit + pCPU context restore): the
+        // 2 µs the hardware probe hides inside the I/O window.
+        let done = self.now + self.cfg.taichi.costs.switch_latency();
+        self.queue.schedule(done, Event::VcpuExited { idx });
+    }
+
+    fn on_vcpu_exited(&mut self, idx: usize) {
+        let reason = self.vsched.vcpu_mut(idx).exit_complete(self.now);
+        let host = self.grant_host[idx].take().expect("exited vCPU had a host");
+        self.vsched.clear_placement(host);
+        self.hw_probe.set_state(host, CpuExecState::PState);
+        // Feedback signal for the adaptive controllers: a slice-expiry
+        // exit that finds packets already waiting was a false-positive
+        // yield (the software can see the rx ring at exit even without
+        // the hardware probe), so it carries the probe signal.
+        let effective = if reason == VmExitReason::SliceExpired
+            && self
+                .dp_index(host)
+                .map(|si| self.services[si].pending() > 0)
+                .unwrap_or(false)
+        {
+            VmExitReason::HwProbe
+        } else {
+            reason
+        };
+        self.slice_ctl.on_vm_exit(host, effective);
+        self.yield_ctl.on_vm_exit(host, effective);
+
+        if self.dp_index(host).is_some() {
+            let now = self.now;
+            let si = self.dp_index(host).expect("checked");
+            self.services[si].mark_polluted(now);
+            self.services[si].restart_polling(now);
+            self.start_processing(host);
+        } else {
+            self.cp_host_suspended[host.index()] = false;
+            let acts = self.kernel.resume_cpu(host, self.now);
+            self.apply_kernel_actions(acts);
+        }
+
+        // Safe lock-context rescheduling (§4.1).
+        let vid = self.orchestrator.vcpu_cpu_id(idx);
+        if self.kernel.in_lock_context(vid) {
+            let idle_dp: Vec<CpuId> = self
+                .dp_cpu_ids
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    c != host
+                        && self.vsched.host_free(c)
+                        && self
+                            .dp_index(c)
+                            .map(|i| self.services[i].is_idle(self.now))
+                            .unwrap_or(false)
+                })
+                .collect();
+            let cp_hosts: Vec<CpuId> = self
+                .cp_cpu_ids
+                .iter()
+                .copied()
+                .filter(|&c| !self.cp_host_suspended[c.index()])
+                .collect();
+            if let Some(h) = self.vsched.pick_reschedule_host(&idle_dp, &cp_hosts) {
+                if self.vsched.host_free(h) {
+                    self.place_vcpu(idx, h);
+                }
+            }
+        }
+    }
+
+    fn on_probe_irq(&mut self, host: CpuId) {
+        let Some(idx) = self.vsched.occupant(host) else {
+            return; // stale: the vCPU already left
+        };
+        match self.vsched.vcpu(idx).state() {
+            VcpuState::Running { .. } => {
+                self.begin_vcpu_exit(idx, VmExitReason::HwProbe);
+            }
+            VcpuState::Entering { .. } => {
+                self.pending_preempt[idx] = true;
+            }
+            _ => {}
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Kernel plumbing.
+    // ---------------------------------------------------------------
+
+    fn on_kernel_decide(&mut self, cpu: CpuId, gen: u64) {
+        if self.kernel_gen.get(&cpu).copied().unwrap_or(0) != gen {
+            return;
+        }
+        let acts = self.kernel.decide(cpu, self.now);
+        self.apply_kernel_actions(acts);
+        // A running vCPU whose guest went idle HLT-exits so the DP
+        // core is returned early.
+        if let Some(idx) = self.orchestrator.vcpu_index(cpu) {
+            if matches!(self.vsched.vcpu(idx).state(), VcpuState::Running { .. })
+                && !self.kernel.cpu_has_work(cpu)
+            {
+                self.begin_vcpu_exit(idx, VmExitReason::GuestHalt);
+            }
+        }
+    }
+
+    fn rearm_kernel(&mut self, cpu: CpuId) {
+        let gen = self.kernel_gen.entry(cpu).or_insert(0);
+        *gen += 1;
+        let gen = *gen;
+        if let Some(t) = self.kernel.next_decision_time(cpu, self.now) {
+            self.queue
+                .schedule(t.max(self.now), Event::KernelDecide { cpu, gen });
+        }
+    }
+
+    fn apply_kernel_actions(&mut self, acts: Vec<KernelAction>) {
+        for a in acts {
+            match a {
+                KernelAction::ArmWakeup { tid, at } => {
+                    self.queue
+                        .schedule(at.max(self.now), Event::KernelWake { tid });
+                }
+                KernelAction::ThreadFinished { tid } => self.on_thread_finished(tid),
+                KernelAction::SendIpi { src, dst, vector } => {
+                    let msg = taichi_hw::IpiMessage { src, dst, vector };
+                    let vsched = &self.vsched;
+                    let decision = self
+                        .orchestrator
+                        .route(msg, |i| !vsched.vcpu(i).is_descheduled());
+                    match decision {
+                        RouteDecision::Direct => {
+                            self.apic.deliver(dst, vector);
+                            self.apic.ack(dst, vector);
+                        }
+                        RouteDecision::Posted { .. } => {
+                            self.posted_interrupts += 1;
+                        }
+                        RouteDecision::WakeAndInject { vcpu } => {
+                            self.try_kick_vcpu(vcpu);
+                        }
+                    }
+                }
+                KernelAction::Rearm { cpu } => self.rearm_kernel(cpu),
+            }
+        }
+    }
+
+    /// A descheduled vCPU received work: place it immediately if some
+    /// DP core already crossed its yield threshold.
+    fn try_kick_vcpu(&mut self, idx: usize) {
+        if !self.vsched.vcpu(idx).is_descheduled() {
+            return;
+        }
+        let vid = self.orchestrator.vcpu_cpu_id(idx);
+        if !self.kernel.cpu_has_work(vid) {
+            return;
+        }
+        let host = (0..self.services.len()).find_map(|si| {
+            let c = self.dp_cpu_ids[si];
+            if self.yield_armed[si]
+                && self.vsched.host_free(c)
+                && self.services[si].is_idle(self.now)
+            {
+                Some(c)
+            } else {
+                None
+            }
+        });
+        if let Some(h) = host {
+            self.place_vcpu(idx, h);
+        }
+    }
+
+    fn on_thread_finished(&mut self, tid: ThreadId) {
+        if let Some(&tr) = self.tid_to_tracker.get(&tid) {
+            if self.trackers[tr].on_thread_finished(tid, self.now) {
+                if let Some(d) = self.trackers[tr].startup_time() {
+                    self.vm_startup_times.push(d);
+                }
+            }
+        }
+    }
+
+    fn on_vm_create(&mut self, request: VmCreateRequest, programs: Vec<Program>) {
+        let mut tids = Vec::with_capacity(programs.len());
+        for p in programs {
+            let p = self.maybe_transform(p);
+            let (tid, acts) = self.kernel.spawn(p, self.cp_affinity, self.now);
+            tids.push(tid);
+            self.apply_kernel_actions(acts);
+        }
+        let tracker_idx = self.trackers.len();
+        for &tid in &tids {
+            self.tid_to_tracker.insert(tid, tracker_idx);
+        }
+        self.trackers.push(VmStartupTracker::new(request, tids));
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors for metrics and tests.
+    // ---------------------------------------------------------------
+
+    fn dp_index(&self, cpu: CpuId) -> Option<usize> {
+        self.dp_cpu_ids.iter().position(|&c| c == cpu)
+    }
+
+    /// The DP services (one per DP CPU).
+    pub fn services(&self) -> &[DpService] {
+        &self.services
+    }
+
+    /// The DP CPU IDs in service order.
+    pub fn dp_cpu_ids(&self) -> &[CpuId] {
+        &self.dp_cpu_ids
+    }
+
+    /// The kernel (thread stats, lock stats).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The vCPU scheduler (yields, placements, vCPU stats).
+    pub fn vsched(&self) -> &VcpuScheduler {
+        &self.vsched
+    }
+
+    /// The unified IPI orchestrator (routing counters).
+    pub fn orchestrator(&self) -> &IpiOrchestrator {
+        &self.orchestrator
+    }
+
+    /// The hardware workload probe (check/IRQ counters).
+    pub fn hw_probe(&self) -> &HwWorkloadProbe {
+        &self.hw_probe
+    }
+
+    /// The adaptive yield controller.
+    pub fn yield_ctl(&self) -> &AdaptiveYield {
+        &self.yield_ctl
+    }
+
+    /// Completed VM startup times, in completion order.
+    pub fn vm_startup_times(&self) -> &[SimDuration] {
+        &self.vm_startup_times
+    }
+
+    /// DP utilization samples collected by
+    /// [`Machine::enable_util_sampling`].
+    pub fn util_samples(&self) -> &[f64] {
+        &self.util_samples
+    }
+
+    /// Posted interrupts injected without a VM-exit.
+    pub fn posted_interrupts(&self) -> u64 {
+        self.posted_interrupts
+    }
+
+    /// Yields vetoed by the §9 pipeline-occupancy signal.
+    pub fn yield_vetoes(&self) -> u64 {
+        self.yield_vetoes
+    }
+}

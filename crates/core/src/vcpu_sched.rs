@@ -1,0 +1,261 @@
+//! vCPU scheduler bookkeeping (§4.1).
+//!
+//! Owns the vCPU pool, the round-robin runnable queue, and the
+//! host-CPU occupancy map. The event-driven half of the scheduler (the
+//! softirq raising, VM-enter/exit timing, adaptive slice updates) lives
+//! in [`crate::machine`]; this module keeps the pure state so the
+//! policies are unit-testable:
+//!
+//! - **Round-robin selection** of a runnable vCPU for an idle DP CPU —
+//!   a vCPU is runnable when it is descheduled and its kernel CPU has
+//!   work.
+//! - **Safe lock-context rescheduling**: a vCPU preempted inside a lock
+//!   context is immediately re-placed on another idle DP pCPU, falling
+//!   back round-robin onto a dedicated CP pCPU, guaranteeing forward
+//!   progress for spinlock holders (the `P^N` argument of §4.1).
+
+use taichi_hw::CpuId;
+use taichi_sim::Counter;
+use taichi_virt::Vcpu;
+
+/// vCPU pool and placement state.
+#[derive(Clone, Debug)]
+pub struct VcpuScheduler {
+    vcpus: Vec<Vcpu>,
+    rr_next: usize,
+    /// Occupancy per physical CPU index.
+    occupancy: Vec<Option<usize>>,
+    cp_rr: usize,
+    yields: Counter,
+    lock_reschedules: Counter,
+    lock_fallbacks: Counter,
+}
+
+impl VcpuScheduler {
+    /// Creates a scheduler for `vcpu_ids` (kernel CPU IDs of the
+    /// vCPUs) over `num_physical` physical CPUs.
+    pub fn new(vcpu_ids: &[CpuId], num_physical: u32) -> Self {
+        VcpuScheduler {
+            vcpus: vcpu_ids.iter().map(|&id| Vcpu::new(id)).collect(),
+            rr_next: 0,
+            occupancy: vec![None; num_physical as usize],
+            cp_rr: 0,
+            yields: Counter::new(),
+            lock_reschedules: Counter::new(),
+            lock_fallbacks: Counter::new(),
+        }
+    }
+
+    /// Number of vCPUs in the pool.
+    pub fn len(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    /// True when the pool is empty (baseline modes).
+    pub fn is_empty(&self) -> bool {
+        self.vcpus.is_empty()
+    }
+
+    /// Immutable access to vCPU `idx`.
+    pub fn vcpu(&self, idx: usize) -> &Vcpu {
+        &self.vcpus[idx]
+    }
+
+    /// Mutable access to vCPU `idx`.
+    pub fn vcpu_mut(&mut self, idx: usize) -> &mut Vcpu {
+        &mut self.vcpus[idx]
+    }
+
+    /// Iterates all vCPUs.
+    pub fn vcpus(&self) -> &[Vcpu] {
+        &self.vcpus
+    }
+
+    /// The vCPU currently occupying physical CPU `host`, if any.
+    pub fn occupant(&self, host: CpuId) -> Option<usize> {
+        self.occupancy.get(host.index()).copied().flatten()
+    }
+
+    /// True when `host` has no vCPU on it.
+    pub fn host_free(&self, host: CpuId) -> bool {
+        self.occupant(host).is_none()
+    }
+
+    /// Picks the next runnable vCPU round-robin: descheduled and with
+    /// pending kernel work.
+    pub fn pick_runnable(&mut self, has_work: impl Fn(usize) -> bool) -> Option<usize> {
+        let n = self.vcpus.len();
+        for step in 0..n {
+            let idx = (self.rr_next + step) % n;
+            if self.vcpus[idx].is_descheduled() && has_work(idx) {
+                self.rr_next = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Records a placement of vCPU `idx` on `host` (a DP→CP yield).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host is already occupied — one vCPU per core.
+    pub fn record_placement(&mut self, idx: usize, host: CpuId) {
+        let slot = self
+            .occupancy
+            .get_mut(host.index())
+            .unwrap_or_else(|| panic!("placement on unknown {host}"));
+        assert!(slot.is_none(), "{host} already hosts vCPU {slot:?}");
+        *slot = Some(idx);
+        self.yields.inc();
+    }
+
+    /// Clears the occupancy of `host` (after VM-exit completes).
+    pub fn clear_placement(&mut self, host: CpuId) -> Option<usize> {
+        self.occupancy.get_mut(host.index()).and_then(|s| s.take())
+    }
+
+    /// Chooses where to immediately re-place a vCPU that was preempted
+    /// inside a lock context: the first free idle DP CPU, else a CP
+    /// CPU round-robin. Returns `None` only when both lists are empty.
+    pub fn pick_reschedule_host(
+        &mut self,
+        idle_dp_hosts: &[CpuId],
+        cp_hosts: &[CpuId],
+    ) -> Option<CpuId> {
+        self.lock_reschedules.inc();
+        if let Some(&h) = idle_dp_hosts.iter().find(|h| self.host_free(**h)) {
+            return Some(h);
+        }
+        if cp_hosts.is_empty() {
+            return None;
+        }
+        self.lock_fallbacks.inc();
+        let pick = cp_hosts[self.cp_rr % cp_hosts.len()];
+        self.cp_rr += 1;
+        Some(pick)
+    }
+
+    /// Total DP→CP yields (placements).
+    pub fn total_yields(&self) -> u64 {
+        self.yields.get()
+    }
+
+    /// Total safe lock-context reschedules.
+    pub fn total_lock_reschedules(&self) -> u64 {
+        self.lock_reschedules.get()
+    }
+
+    /// Lock-context reschedules that had to fall back to a CP pCPU.
+    pub fn total_lock_fallbacks(&self) -> u64 {
+        self.lock_fallbacks.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taichi_sim::SimTime;
+
+    fn sched(n: usize) -> VcpuScheduler {
+        let ids: Vec<CpuId> = (12..12 + n as u32).map(CpuId).collect();
+        VcpuScheduler::new(&ids, 12)
+    }
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut s = sched(3);
+        // All runnable.
+        let picks: Vec<usize> = (0..6)
+            .map(|_| {
+                let i = s.pick_runnable(|_| true).unwrap();
+                // Simulate placing + releasing immediately.
+                i
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skip_vcpus_without_work() {
+        let mut s = sched(3);
+        let pick = s.pick_runnable(|i| i == 2);
+        assert_eq!(pick, Some(2));
+        // RR pointer advanced past 2.
+        let pick2 = s.pick_runnable(|i| i == 2);
+        assert_eq!(pick2, Some(2));
+    }
+
+    #[test]
+    fn placed_vcpu_not_runnable() {
+        let mut s = sched(2);
+        let i = s.pick_runnable(|_| true).unwrap();
+        s.vcpu_mut(i).place(CpuId(0), SimTime::ZERO);
+        s.record_placement(i, CpuId(0));
+        assert_eq!(s.occupant(CpuId(0)), Some(i));
+        assert!(!s.host_free(CpuId(0)));
+        // Only the other vCPU can be picked now.
+        let j = s.pick_runnable(|_| true).unwrap();
+        assert_ne!(i, j);
+    }
+
+    #[test]
+    fn none_when_no_work() {
+        let mut s = sched(4);
+        assert_eq!(s.pick_runnable(|_| false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosts")]
+    fn double_occupancy_panics() {
+        let mut s = sched(2);
+        s.record_placement(0, CpuId(1));
+        s.record_placement(1, CpuId(1));
+    }
+
+    #[test]
+    fn clear_placement_roundtrip() {
+        let mut s = sched(1);
+        s.record_placement(0, CpuId(5));
+        assert_eq!(s.clear_placement(CpuId(5)), Some(0));
+        assert!(s.host_free(CpuId(5)));
+        assert_eq!(s.clear_placement(CpuId(5)), None);
+        assert_eq!(s.total_yields(), 1);
+    }
+
+    #[test]
+    fn lock_reschedule_prefers_idle_dp() {
+        let mut s = sched(2);
+        let idle = [CpuId(2), CpuId(5)];
+        let cp = [CpuId(8), CpuId(9)];
+        assert_eq!(s.pick_reschedule_host(&idle, &cp), Some(CpuId(2)));
+        assert_eq!(s.total_lock_reschedules(), 1);
+        assert_eq!(s.total_lock_fallbacks(), 0);
+    }
+
+    #[test]
+    fn lock_reschedule_skips_occupied_dp() {
+        let mut s = sched(2);
+        s.record_placement(0, CpuId(2));
+        let idle = [CpuId(2), CpuId(5)];
+        let cp = [CpuId(8)];
+        assert_eq!(s.pick_reschedule_host(&idle, &cp), Some(CpuId(5)));
+    }
+
+    #[test]
+    fn lock_reschedule_falls_back_round_robin() {
+        let mut s = sched(2);
+        let cp = [CpuId(8), CpuId(9), CpuId(10)];
+        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(8)));
+        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(9)));
+        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(10)));
+        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(8)));
+        assert_eq!(s.total_lock_fallbacks(), 4);
+    }
+
+    #[test]
+    fn empty_everything_returns_none() {
+        let mut s = sched(1);
+        assert_eq!(s.pick_reschedule_host(&[], &[]), None);
+    }
+}

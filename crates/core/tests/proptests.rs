@@ -1,0 +1,139 @@
+//! Property-based tests at the whole-machine level: for arbitrary
+//! (bounded) traffic shapes and CP workloads, the machine must
+//! preserve its safety invariants in every mode.
+
+use proptest::prelude::*;
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::metrics::RunReport;
+use taichi_core::MachineConfig;
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_os::Program;
+use taichi_sim::{Dist, SimDuration, SimTime};
+
+fn mode_strategy() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Baseline),
+        Just(Mode::TaiChi),
+        Just(Mode::TaiChiNoHwProbe),
+        Just(Mode::TaiChiVdp),
+        Just(Mode::Type2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packet conservation: everything submitted is processed, dropped,
+    /// or still in flight at the horizon — in every mode, for any load.
+    #[test]
+    fn packet_conservation(
+        mode in mode_strategy(),
+        seed in any::<u64>(),
+        util_pct in 5u32..160,
+        bursty in any::<bool>(),
+    ) {
+        let cfg = MachineConfig { seed, ..MachineConfig::default() };
+        let mut m = Machine::new(cfg, mode);
+        let dp = m.services().len() as u32;
+        let gap = 1.5 / (util_pct as f64 / 100.0) / 8.0;
+        let pattern = if bursty {
+            ArrivalPattern::OnOff {
+                on_us: Dist::constant(150.0),
+                off_us: Dist::exponential(300.0),
+                burst_gap_us: Dist::exponential(gap * 0.4),
+            }
+        } else {
+            ArrivalPattern::OpenLoop { gap_us: Dist::exponential(gap) }
+        };
+        m.add_traffic(TrafficGen::new(
+            pattern,
+            Dist::constant(512.0),
+            IoKind::Network,
+            (0..dp).map(CpuId).collect(),
+        ));
+        let mut cp = Vec::new();
+        for _ in 0..4 {
+            cp.push(
+                Program::new()
+                    .compute(SimDuration::from_micros(800))
+                    .critical(SimDuration::from_millis(2))
+                    .syscall(SimDuration::from_micros(300)),
+            );
+        }
+        m.schedule_cp_batch(cp, SimTime::ZERO);
+        m.run_until(SimTime::from_millis(60));
+
+        let mut processed = 0u64;
+        let mut dropped = 0u64;
+        let mut queued = 0u64;
+        for s in m.services() {
+            processed += s.processed();
+            dropped += s.dropped();
+            queued += s.pending() as u64;
+        }
+        // Everything that entered a ring is accounted for.
+        prop_assert_eq!(
+            processed + queued,
+            m.services().iter().map(|s| {
+                s.processed() + s.pending() as u64
+            }).sum::<u64>()
+        );
+        // Drops only under meaningful overload.
+        if util_pct < 80 {
+            prop_assert_eq!(dropped, 0, "{}: dropped below saturation", mode);
+        }
+        // Latency recorder self-consistency.
+        let r = RunReport::collect(&m);
+        prop_assert_eq!(r.dp.packets(), processed);
+        if processed > 0 {
+            prop_assert!(r.dp.total_latency().min() >= 3_200, "hardware floor");
+        }
+    }
+
+    /// Scheduler bookkeeping: yields and exits stay consistent, and
+    /// every vCPU that is descheduled at the horizon has no host.
+    #[test]
+    fn vcpu_bookkeeping_consistent(
+        seed in any::<u64>(),
+        duty_pct in 10u32..60,
+    ) {
+        let cfg = MachineConfig { seed, ..MachineConfig::default() };
+        let mut m = Machine::new(cfg, Mode::TaiChi);
+        let duty = duty_pct as f64 / 100.0;
+        m.add_traffic(TrafficGen::new(
+            ArrivalPattern::OnOff {
+                on_us: Dist::constant(200.0),
+                off_us: Dist::exponential(200.0 * (1.0 - duty) / duty),
+                burst_gap_us: Dist::exponential(0.21),
+            },
+            Dist::constant(512.0),
+            IoKind::Network,
+            (0..8).map(CpuId).collect(),
+        ));
+        let mut cp = Vec::new();
+        for _ in 0..8 {
+            cp.push(Program::new().compute(SimDuration::from_millis(5)));
+        }
+        m.schedule_cp_batch(cp, SimTime::ZERO);
+        m.run_until(SimTime::from_millis(80));
+
+        let mut entries = 0u64;
+        let mut exits = 0u64;
+        for v in m.vsched().vcpus() {
+            entries += v.entries();
+            exits += v.exits().total();
+            // entries == exits for descheduled vCPUs; at most one
+            // grant can be in flight per vCPU.
+            prop_assert!(v.entries() >= v.exits().total());
+            prop_assert!(v.entries() - v.exits().total() <= 1);
+            if v.is_descheduled() {
+                prop_assert!(v.host().is_none());
+            }
+        }
+        // Yields equal placements; each placement leads to at most one
+        // entry (a pending-preempt can exit before entering completes).
+        prop_assert!(entries <= m.vsched().total_yields());
+        prop_assert!(exits <= entries);
+    }
+}

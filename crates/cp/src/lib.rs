@@ -1,0 +1,30 @@
+//! Control-plane task models.
+//!
+//! The paper's control plane is an ecosystem of 300–500 heterogeneous
+//! tasks in three categories (§2.3): device management (the VM
+//! startup / teardown path), performance monitoring, and CSP
+//! orchestration. Crucially for Tai Chi, CP tasks are *plain OS
+//! threads*: nothing in this crate knows Tai Chi exists — tasks are
+//! `taichi_os::Program`s bound to CPUs by standard affinity, which is
+//! exactly the zero-modification transparency claim (C3).
+//!
+//! - [`routines`]: the production non-preemptible-routine duration
+//!   distribution (Fig. 5: >456 k routines above 1 ms over 12 h,
+//!   94.5 % in 1–5 ms, max 67 ms).
+//! - [`task`]: program factories for the three CP categories.
+//! - [`vm_lifecycle`]: the Fig. 1c red-path VM-creation workflow —
+//!   device-initialisation tasks whose completion gates QEMU's VM
+//!   instantiation, giving the VM-startup-time metric of Figs. 2 & 17.
+//! - [`synth`]: the `synth_cp` stress benchmark (50 ms tasks mixing
+//!   user compute, syscalls and non-preemptible routines) used for
+//!   Fig. 11.
+
+pub mod routines;
+pub mod synth;
+pub mod task;
+pub mod vm_lifecycle;
+
+pub use routines::fig5_routine_ms;
+pub use synth::SynthCp;
+pub use task::{CpTaskKind, TaskFactory};
+pub use vm_lifecycle::{VmCreateRequest, VmStartupTracker};

@@ -1,0 +1,212 @@
+//! Program factories for the three CP task categories (§2.3).
+//!
+//! Each factory emits a plain [`Program`]; durations are drawn from the
+//! crate's production-calibrated distributions using the caller's RNG
+//! so whole-fleet generation is deterministic per seed.
+
+use crate::routines;
+use taichi_os::{LockId, Program, Segment};
+use taichi_sim::{Dist, Rng, SimDuration};
+
+/// The three CP categories from §2.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpTaskKind {
+    /// Emulated-device init/deinit (gates VM creation/destruction).
+    DeviceManagement,
+    /// Metric collection and log preservation.
+    Monitoring,
+    /// Cluster-manager API handling.
+    Orchestration,
+}
+
+/// Well-known kernel locks contended by CP tasks.
+pub mod locks {
+    use taichi_os::LockId;
+
+    /// The NIC driver configuration lock (Fig. 4's example).
+    pub const NIC_DRIVER: LockId = LockId(1);
+    /// The block-device driver configuration lock.
+    pub const BLK_DRIVER: LockId = LockId(2);
+    /// The logging subsystem lock.
+    pub const LOGGING: LockId = LockId(3);
+}
+
+/// Deterministic generator of CP task programs.
+#[derive(Clone, Debug)]
+pub struct TaskFactory {
+    /// Routine-duration distribution in milliseconds.
+    routine_ms: Dist,
+    /// User-space compute per phase, in microseconds.
+    compute_us: Dist,
+    /// Preemptible syscall body per phase, in microseconds.
+    syscall_us: Dist,
+}
+
+impl Default for TaskFactory {
+    fn default() -> Self {
+        TaskFactory {
+            routine_ms: routines::mixed_routine_ms(0.10),
+            compute_us: Dist::LogNormal {
+                mean: 400.0,
+                sigma: 0.6,
+            },
+            syscall_us: Dist::LogNormal {
+                mean: 150.0,
+                sigma: 0.5,
+            },
+        }
+    }
+}
+
+impl TaskFactory {
+    /// Creates a factory with explicit distributions.
+    pub fn new(routine_ms: Dist, compute_us: Dist, syscall_us: Dist) -> Self {
+        TaskFactory {
+            routine_ms,
+            compute_us,
+            syscall_us,
+        }
+    }
+
+    /// Builds a device-initialisation task: parse → `phases` rounds of
+    /// (syscall + lock-guarded non-preemptible configure) → commit.
+    ///
+    /// This is the Fig. 1c red-path step 3 body and the Fig. 4 latency
+    /// spike culprit: the configure routines hold a driver lock inside
+    /// a non-preemptible section.
+    pub fn device_init(&self, lock: LockId, phases: u32, rng: &mut Rng) -> Program {
+        let mut p = Program::new().compute(self.compute_us.sample_micros(rng));
+        for i in 0..phases {
+            p = p.syscall(self.syscall_us.sample_micros(rng));
+            let routine = self.routine_ms.sample_millis(rng);
+            // Only the device-registration phase takes the shared
+            // driver lock, and holds it only for the list-insertion
+            // part of the routine; per-device configuration phases are
+            // non-preemptible but lock-free.
+            p = if i == 0 {
+                let hold = SimDuration::from_nanos(routine.as_nanos() / 4);
+                p.critical_locked(hold, lock).critical(routine - hold)
+            } else {
+                p.critical(routine)
+            };
+        }
+        p.compute(self.compute_us.sample_micros(rng))
+    }
+
+    /// Builds a monitoring task: `iterations` rounds of collect
+    /// (syscall) + log append (short lock-guarded routine) + sleep.
+    pub fn monitoring(&self, iterations: u32, period: SimDuration, rng: &mut Rng) -> Program {
+        let mut p = Program::new();
+        for _ in 0..iterations {
+            p = p
+                .syscall(self.syscall_us.sample_micros(rng))
+                .critical_locked(
+                    // Log appends are short holds: scale routine down.
+                    SimDuration::from_nanos(self.routine_ms.sample_micros(rng).as_nanos()),
+                    locks::LOGGING,
+                )
+                .sleep(period);
+        }
+        p
+    }
+
+    /// Builds an orchestration task: parse request, a couple of
+    /// syscalls, a response compute.
+    pub fn orchestration(&self, rng: &mut Rng) -> Program {
+        Program::new()
+            .compute(self.compute_us.sample_micros(rng))
+            .syscall(self.syscall_us.sample_micros(rng))
+            .syscall(self.syscall_us.sample_micros(rng))
+            .compute(self.compute_us.sample_micros(rng))
+    }
+
+    /// Builds a task of the given kind with default shape parameters.
+    pub fn build(&self, kind: CpTaskKind, rng: &mut Rng) -> Program {
+        match kind {
+            CpTaskKind::DeviceManagement => self.device_init(locks::NIC_DRIVER, 3, rng),
+            CpTaskKind::Monitoring => {
+                self.monitoring(5, SimDuration::from_millis(10), rng)
+            }
+            CpTaskKind::Orchestration => self.orchestration(rng),
+        }
+    }
+}
+
+/// Returns true when the program contains at least one non-preemptible
+/// segment (used by tests asserting CP realism).
+pub fn has_non_preemptible(p: &Program) -> bool {
+    p.segments().iter().any(|s| s.is_non_preemptible())
+}
+
+/// Returns true when the program contains at least one lock-guarded
+/// segment.
+pub fn has_locked_section(p: &Program) -> bool {
+    p.segments()
+        .iter()
+        .any(|s| matches!(s, Segment::NonPreemptible { lock: Some(_), .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_init_shape() {
+        let f = TaskFactory::default();
+        let mut rng = Rng::new(1);
+        let p = f.device_init(locks::NIC_DRIVER, 3, &mut rng);
+        // parse + (syscall + locked hold + unlocked remainder)
+        // + 2*(syscall + critical) + commit = 9 segments.
+        assert_eq!(p.len(), 9);
+        assert!(has_non_preemptible(&p));
+        assert!(has_locked_section(&p));
+        assert!(p.total_cpu_time() > SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn monitoring_sleeps_between_rounds() {
+        let f = TaskFactory::default();
+        let mut rng = Rng::new(2);
+        let p = f.monitoring(4, SimDuration::from_millis(10), &mut rng);
+        let sleeps = p
+            .segments()
+            .iter()
+            .filter(|s| matches!(s, Segment::Sleep(_)))
+            .count();
+        assert_eq!(sleeps, 4);
+        assert!(has_locked_section(&p));
+    }
+
+    #[test]
+    fn orchestration_is_preemptible_only() {
+        let f = TaskFactory::default();
+        let mut rng = Rng::new(3);
+        let p = f.orchestration(&mut rng);
+        assert!(!has_non_preemptible(&p));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn factory_is_deterministic_per_seed() {
+        let f = TaskFactory::default();
+        let mut r1 = Rng::new(9);
+        let mut r2 = Rng::new(9);
+        let p1 = f.build(CpTaskKind::DeviceManagement, &mut r1);
+        let p2 = f.build(CpTaskKind::DeviceManagement, &mut r2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn build_covers_all_kinds() {
+        let f = TaskFactory::default();
+        let mut rng = Rng::new(4);
+        for kind in [
+            CpTaskKind::DeviceManagement,
+            CpTaskKind::Monitoring,
+            CpTaskKind::Orchestration,
+        ] {
+            let p = f.build(kind, &mut rng);
+            assert!(!p.is_empty());
+        }
+    }
+}

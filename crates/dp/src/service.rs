@@ -1,0 +1,410 @@
+//! The poll-mode data-plane service.
+//!
+//! One [`DpService`] is pinned to one SmartNIC CPU and owns that CPU's
+//! receive queue. The real service runs the Fig. 9 loop:
+//!
+//! ```c
+//! while (true) {
+//!     n = rte_eth_rx_burst(qid);
+//!     if (n == 0) empty_polling_num++;
+//!     else { empty_polling_num = 0; /* process */ }
+//!     if (empty_polling_num > threshold) notify_idle_DP_CPU_cycles();
+//! }
+//! ```
+//!
+//! Simulating every ~100 ns poll iteration would melt the event queue,
+//! so the loop is modelled *analytically*: while the queue is empty the
+//! threshold-crossing instant is `last_activity + threshold ×
+//! poll_iteration`; a packet arrival before that instant resets the
+//! counter. The observable behaviour (when the yield notification
+//! fires) is identical to iterating the loop.
+//!
+//! The service also models the cache/TLB pollution left behind by a
+//! vCPU that borrowed the core (§6.5 attributes Tai Chi's residual
+//! ≤1.92 % DP overhead to exactly this): for a short window after
+//! [`DpService::mark_polluted`], per-packet processing pays a
+//! multiplicative surcharge.
+
+use crate::latency::LatencyRecorder;
+use taichi_hw::{CpuId, Packet, RxQueue};
+use taichi_sim::{Dist, Rng, SimDuration, SimTime, UtilizationMeter};
+
+/// Tuning constants for one data-plane service.
+#[derive(Clone, Debug)]
+pub struct DpServiceConfig {
+    /// Cost of one empty poll iteration (queue probe + loop overhead).
+    pub poll_iteration: SimDuration,
+    /// Per-packet software processing cost (ns).
+    pub proc_cost_ns: Dist,
+    /// Max packets drained per burst.
+    pub burst: usize,
+    /// Receive ring capacity.
+    pub ring_capacity: usize,
+    /// Cache/TLB pollution window after a vCPU vacates the core.
+    pub pollution_window: SimDuration,
+    /// Multiplicative processing surcharge inside the window.
+    pub pollution_tax: f64,
+}
+
+impl Default for DpServiceConfig {
+    fn default() -> Self {
+        DpServiceConfig {
+            poll_iteration: SimDuration::from_nanos(120),
+            proc_cost_ns: Dist::LogNormal {
+                mean: 1_500.0,
+                sigma: 0.4,
+            },
+            burst: 32,
+            ring_capacity: 1024,
+            pollution_window: SimDuration::from_micros(8),
+            pollution_tax: 1.18,
+        }
+    }
+}
+
+/// A poll-mode service pinned to `cpu`.
+#[derive(Clone, Debug)]
+pub struct DpService {
+    cpu: CpuId,
+    config: DpServiceConfig,
+    queue: RxQueue,
+    /// The service is software-processing packets until this instant.
+    busy_until: SimTime,
+    /// Start of the current empty-poll run (None while packets flow).
+    empty_since: Option<SimTime>,
+    /// Cache pollution expires at this instant.
+    polluted_until: SimTime,
+    meter: UtilizationMeter,
+    recorder: LatencyRecorder,
+    tagged: LatencyRecorder,
+    processed: u64,
+    /// Extra execution tax applied to all processing (used by the
+    /// Tai Chi-vDP mode, where the service itself runs in a vCPU).
+    exec_tax: f64,
+}
+
+impl DpService {
+    /// Creates an idle service pinned to `cpu`.
+    pub fn new(cpu: CpuId, config: DpServiceConfig) -> Self {
+        let ring = RxQueue::new(config.ring_capacity);
+        DpService {
+            cpu,
+            config,
+            queue: ring,
+            busy_until: SimTime::ZERO,
+            empty_since: Some(SimTime::ZERO),
+            polluted_until: SimTime::ZERO,
+            meter: UtilizationMeter::new(SimTime::ZERO),
+            recorder: LatencyRecorder::new(),
+            tagged: LatencyRecorder::new(),
+            processed: 0,
+            exec_tax: 1.0,
+        }
+    }
+
+    /// The CPU this service is pinned to.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Applies a multiplicative execution tax to all software
+    /// processing (nested-page-table cost when the service runs inside
+    /// a vCPU — the Tai Chi-vDP / type-1 configuration).
+    pub fn set_exec_tax(&mut self, tax: f64) {
+        self.exec_tax = tax.max(1.0);
+    }
+
+    /// Deposits a delivered packet into the service's ring.
+    ///
+    /// Returns `false` when the ring overflowed (packet dropped).
+    pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> bool {
+        self.queue.push(packet)
+    }
+
+    /// Packets waiting in the ring.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the service has nothing to do at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.queue.is_empty() && now >= self.busy_until
+    }
+
+    /// The instant software processing of in-flight packets finishes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Marks the core as cache/TLB-polluted (a vCPU just vacated it).
+    pub fn mark_polluted(&mut self, now: SimTime) {
+        self.polluted_until = now + self.config.pollution_window;
+    }
+
+    /// Drains and processes up to one burst starting no earlier than
+    /// `ready` (the instant the DP context is actually restored on the
+    /// CPU). Returns the completion time of the last packet, or `None`
+    /// when the ring was empty.
+    ///
+    /// Every processed packet gets `completed_at` stamped and is
+    /// recorded in the latency recorder.
+    pub fn process_burst(&mut self, ready: SimTime, rng: &mut Rng) -> Option<SimTime> {
+        let batch = self.queue.rx_burst(self.config.burst);
+        if batch.is_empty() {
+            return None;
+        }
+        self.empty_since = None;
+        let mut t = ready.max(self.busy_until);
+        self.meter.set_busy(t);
+        for mut p in batch {
+            let mut cost_ns = self.config.proc_cost_ns.sample(rng) * self.exec_tax;
+            if t < self.polluted_until {
+                cost_ns *= self.config.pollution_tax;
+            }
+            t += SimDuration::from_nanos(cost_ns.round().max(1.0) as u64);
+            p.completed_at = Some(t);
+            self.recorder.record(&p);
+            if p.dest_queue != 0 {
+                self.tagged.record(&p);
+            }
+            self.processed += 1;
+        }
+        self.busy_until = t;
+        self.meter.set_idle(t);
+        if self.queue.is_empty() {
+            self.empty_since = Some(t);
+        }
+        Some(t)
+    }
+
+    /// Analytic Fig. 9 loop: the instant at which `threshold`
+    /// consecutive empty polls will have accumulated, given the queue
+    /// stays empty. `None` while packets are pending.
+    pub fn idle_notify_time(&self, threshold: u32) -> Option<SimTime> {
+        let since = self.empty_since?;
+        if !self.queue.is_empty() {
+            return None;
+        }
+        Some(since + self.config.poll_iteration.saturating_mul(threshold as u64 + 1))
+    }
+
+    /// Consecutive empty polls accumulated by `now` (analytic).
+    pub fn empty_polls(&self, now: SimTime) -> u64 {
+        match self.empty_since {
+            Some(since) if self.queue.is_empty() && now > since => {
+                now.saturating_since(since).as_nanos() / self.config.poll_iteration.as_nanos().max(1)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Resets the empty-poll run to start at `now` (called when the DP
+    /// context resumes polling after a vCPU borrowed the core).
+    pub fn restart_polling(&mut self, now: SimTime) {
+        if self.queue.is_empty() {
+            self.empty_since = Some(now.max(self.busy_until));
+        } else {
+            self.empty_since = None;
+        }
+    }
+
+    /// Latency/throughput records.
+    pub fn recorder(&self) -> &LatencyRecorder {
+        &self.recorder
+    }
+
+    /// Latency records for probe packets (non-zero destination queue).
+    pub fn tagged_recorder(&self) -> &LatencyRecorder {
+        &self.tagged
+    }
+
+    /// Total packets processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Packets dropped at the ring.
+    pub fn dropped(&self) -> u64 {
+        self.queue.total_dropped()
+    }
+
+    /// Busy fraction of the service since creation.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.meter.lifetime_utilization(now)
+    }
+
+    /// Busy fraction over the window since the last call, resetting it.
+    pub fn sample_utilization(&mut self, now: SimTime) -> f64 {
+        self.meter.sample_and_reset(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taichi_hw::{IoKind, PacketId};
+
+    fn mk_service() -> DpService {
+        DpService::new(
+            CpuId(0),
+            DpServiceConfig {
+                proc_cost_ns: Dist::constant(1_000.0),
+                ..DpServiceConfig::default()
+            },
+        )
+    }
+
+    fn delivered(id: u64, at_us: u64) -> Packet {
+        let mut p = Packet::new(
+            PacketId(id),
+            IoKind::Network,
+            256,
+            CpuId(0),
+            0,
+            SimTime::from_micros(at_us.saturating_sub(4)),
+        );
+        let deliver = SimTime::from_micros(at_us);
+        p.preprocessed_at = Some(deliver - deliver.saturating_since(SimTime::ZERO).min(SimDuration::from_nanos(500)));
+        p.delivered_at = Some(deliver);
+        p
+    }
+
+    #[test]
+    fn burst_processing_is_serial() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(1);
+        let t = SimTime::from_micros(10);
+        for i in 0..3 {
+            assert!(s.enqueue(delivered(i, 10), t));
+        }
+        let done = s.process_burst(t, &mut rng).unwrap();
+        assert_eq!(done.as_nanos(), 10_000 + 3_000);
+        assert_eq!(s.processed(), 3);
+        assert_eq!(s.recorder().packets(), 3);
+        assert!(s.is_idle(done));
+    }
+
+    #[test]
+    fn empty_burst_returns_none() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(1);
+        assert!(s.process_burst(SimTime::from_micros(1), &mut rng).is_none());
+    }
+
+    #[test]
+    fn idle_notify_time_analytic() {
+        let s = mk_service();
+        // Idle since t=0, 120 ns/iteration, threshold 100: notify at
+        // (100+1)*120 ns.
+        let t = s.idle_notify_time(100).unwrap();
+        assert_eq!(t.as_nanos(), 101 * 120);
+    }
+
+    #[test]
+    fn empty_polls_accumulate_then_reset() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(2);
+        assert_eq!(s.empty_polls(SimTime::from_micros(12)), 100);
+        // A packet arrives and is processed: counter resets, idle run
+        // restarts at completion.
+        let t = SimTime::from_micros(20);
+        s.enqueue(delivered(1, 20), t);
+        assert!(s.idle_notify_time(100).is_none());
+        let done = s.process_burst(t, &mut rng).unwrap();
+        assert_eq!(s.empty_polls(done), 0);
+        assert!(s.idle_notify_time(100).unwrap() > done);
+    }
+
+    #[test]
+    fn pollution_taxes_processing() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(3);
+        let t = SimTime::from_micros(100);
+        s.mark_polluted(t);
+        s.enqueue(delivered(1, 100), t);
+        let done = s.process_burst(t, &mut rng).unwrap();
+        // 1000 ns * 1.18 = 1180 ns.
+        assert_eq!(done.as_nanos(), 100_000 + 1_180);
+        // Past the window the tax disappears.
+        let t2 = t + s.config.pollution_window + SimDuration::from_micros(1);
+        s.enqueue(delivered(2, t2.as_nanos() / 1_000), t2);
+        let done2 = s.process_burst(t2, &mut rng).unwrap();
+        assert_eq!(done2.as_nanos(), t2.as_nanos() + 1_000);
+    }
+
+    #[test]
+    fn exec_tax_applies_to_all_processing() {
+        let mut s = mk_service();
+        s.set_exec_tax(1.07);
+        let mut rng = Rng::new(4);
+        let t = SimTime::from_micros(50);
+        s.enqueue(delivered(1, 50), t);
+        let done = s.process_burst(t, &mut rng).unwrap();
+        assert_eq!(done.as_nanos(), 50_000 + 1_070);
+    }
+
+    #[test]
+    fn exec_tax_cannot_speed_up() {
+        let mut s = mk_service();
+        s.set_exec_tax(0.5);
+        let mut rng = Rng::new(5);
+        let t = SimTime::from_micros(50);
+        s.enqueue(delivered(1, 50), t);
+        let done = s.process_burst(t, &mut rng).unwrap();
+        assert_eq!(done.as_nanos(), 50_000 + 1_000);
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut s = DpService::new(
+            CpuId(0),
+            DpServiceConfig {
+                ring_capacity: 2,
+                ..DpServiceConfig::default()
+            },
+        );
+        let t = SimTime::from_micros(1);
+        assert!(s.enqueue(delivered(1, 1), t));
+        assert!(s.enqueue(delivered(2, 1), t));
+        assert!(!s.enqueue(delivered(3, 1), t));
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn utilization_reflects_processing() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(6);
+        let t = SimTime::from_micros(0);
+        for i in 0..5 {
+            s.enqueue(delivered(i, 0), t);
+        }
+        s.process_burst(t, &mut rng);
+        // 5 µs busy out of 10 µs elapsed.
+        let u = s.utilization(SimTime::from_micros(10));
+        assert!((u - 0.5).abs() < 0.01, "utilization {u}");
+    }
+
+    #[test]
+    fn restart_polling_after_vcpu_window() {
+        let mut s = mk_service();
+        // Service idle since 0; a vCPU borrowed the core until 500 µs.
+        let resume = SimTime::from_micros(500);
+        s.restart_polling(resume);
+        let t = s.idle_notify_time(100).unwrap();
+        assert_eq!(t.as_nanos(), 500_000 + 101 * 120);
+    }
+
+    #[test]
+    fn queue_wait_included_in_latency() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(7);
+        // Delivered at 10 µs but the DP context is only restored at
+        // 60 µs (vCPU was on the core): software latency ≈ 51 µs.
+        let t_deliver = SimTime::from_micros(10);
+        s.enqueue(delivered(1, 10), t_deliver);
+        let ready = SimTime::from_micros(60);
+        s.process_burst(ready, &mut rng);
+        let sw = s.recorder().software_latency().mean();
+        assert!((sw - 51_000.0).abs() < 100.0, "software latency {sw}");
+    }
+}

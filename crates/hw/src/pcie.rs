@@ -1,0 +1,129 @@
+//! PCIe host-link latency/bandwidth model.
+//!
+//! The SmartNIC attaches to the host over PCIe Gen3 x8 (Table 4).
+//! Doorbell writes, DMA descriptor fetches and payload transfers all
+//! cross this link; for scheduling purposes what matters is the fixed
+//! per-transaction latency plus payload serialization at link bandwidth.
+
+use taichi_sim::{Counter, SimDuration, SimTime};
+
+/// PCIe link timing configuration.
+#[derive(Clone, Debug)]
+pub struct PcieConfig {
+    /// One-way transaction latency (posted write / read completion).
+    pub transaction_latency: SimDuration,
+    /// Effective payload bandwidth in GB/s (Gen3 x8 ≈ 7.9 GB/s raw,
+    /// ~6.5 GB/s effective after TLP overhead).
+    pub effective_gbps: f64,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        PcieConfig {
+            transaction_latency: SimDuration::from_nanos(450),
+            effective_gbps: 6.5,
+        }
+    }
+}
+
+/// A half-duplex-modelled PCIe link (each direction tracked separately
+/// would only matter at saturation, which the evaluation never reaches).
+#[derive(Clone, Debug)]
+pub struct PcieLink {
+    config: PcieConfig,
+    busy_until: SimTime,
+    transactions: Counter,
+    bytes: Counter,
+}
+
+impl PcieLink {
+    /// Creates an idle link.
+    pub fn new(config: PcieConfig) -> Self {
+        PcieLink {
+            config,
+            busy_until: SimTime::ZERO,
+            transactions: Counter::new(),
+            bytes: Counter::new(),
+        }
+    }
+
+    /// Time to serialize `bytes` at link bandwidth.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        let ns = bytes as f64 / (self.config.effective_gbps * 1e9) * 1e9;
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// Issues a transfer of `bytes` at `now`; returns its completion
+    /// time (queueing behind earlier transfers + latency + payload).
+    pub fn transfer(&mut self, bytes: u32, now: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + self.config.transaction_latency + self.serialization(bytes);
+        self.busy_until = start + self.serialization(bytes);
+        self.transactions.inc();
+        self.bytes.add(bytes as u64);
+        done
+    }
+
+    /// Issues a zero-payload doorbell write at `now`; returns arrival.
+    pub fn doorbell(&mut self, now: SimTime) -> SimTime {
+        self.transactions.inc();
+        now + self.config.transaction_latency
+    }
+
+    /// Total transactions issued.
+    pub fn total_transactions(&self) -> u64 {
+        self.transactions.get()
+    }
+
+    /// Total payload bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doorbell_is_pure_latency() {
+        let mut l = PcieLink::new(PcieConfig::default());
+        let at = l.doorbell(SimTime::from_micros(1));
+        assert_eq!(at.as_nanos(), 1_000 + 450);
+    }
+
+    #[test]
+    fn serialization_scales_with_size() {
+        let l = PcieLink::new(PcieConfig::default());
+        let s4k = l.serialization(4096);
+        let s64 = l.serialization(64);
+        assert!(s4k > s64.saturating_mul(50));
+        // 4 KiB at 6.5 GB/s = ~630 ns.
+        assert!((s4k.as_nanos() as i64 - 630).abs() < 10, "{s4k:?}");
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut l = PcieLink::new(PcieConfig::default());
+        let t = SimTime::from_micros(0);
+        let d1 = l.transfer(4096, t);
+        let d2 = l.transfer(4096, t);
+        assert!(d2 > d1);
+        assert_eq!(
+            (d2 - d1).as_nanos(),
+            l.serialization(4096).as_nanos()
+        );
+        assert_eq!(l.total_transactions(), 2);
+        assert_eq!(l.total_bytes(), 8192);
+    }
+
+    #[test]
+    fn idle_link_has_no_queueing() {
+        let mut l = PcieLink::new(PcieConfig::default());
+        let d1 = l.transfer(64, SimTime::from_micros(0));
+        // Long after the first completes.
+        let d2 = l.transfer(64, SimTime::from_micros(100));
+        assert_eq!((d1.as_nanos()) as i64 - 450 - 10, 0);
+        assert_eq!(d2.as_nanos(), 100_000 + 450 + 10);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the kernel model: random programs on
+//! random topologies must always run to completion with exact CPU-time
+//! accounting.
+
+use proptest::prelude::*;
+use taichi_hw::CpuId;
+use taichi_os::{CpuSet, Kernel, KernelAction, KernelConfig, LockId, Program, Segment, ThreadId, ThreadState};
+use taichi_sim::{EventQueue, SimDuration, SimTime};
+
+/// Drives a kernel to quiescence (same pattern as the unit tests, but
+/// over arbitrary generated workloads). `pending` carries actions
+/// returned by calls made outside the drive loop (spawns, pauses).
+fn drive(kernel: &mut Kernel, pending: Vec<KernelAction>, until: SimTime) {
+    drive_with_pulses(kernel, pending, &[], until);
+}
+
+/// Like [`drive`], additionally applying externally scheduled
+/// pause/resume pulses (hypervisor behaviour) at fixed instants, all
+/// within one persistent event queue so no timer is ever lost.
+fn drive_with_pulses(
+    kernel: &mut Kernel,
+    pending: Vec<KernelAction>,
+    pulses: &[(u64, u64)], // (pause_at_us, resume_at_us) on CPU 0
+    until: SimTime,
+) {
+    #[derive(Debug)]
+    enum Ev {
+        Decide(CpuId),
+        Wake(ThreadId),
+        Pause(CpuId),
+        Resume(CpuId),
+    }
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let arm = |k: &Kernel, q: &mut EventQueue<Ev>, cpu: CpuId, now: SimTime| {
+        if let Some(t) = k.next_decision_time(cpu, now) {
+            q.schedule(t.max(now), Ev::Decide(cpu));
+        }
+    };
+    for a in pending {
+        if let KernelAction::ArmWakeup { tid, at } = a {
+            q.schedule(at, Ev::Wake(tid));
+        }
+    }
+    for &(p_at, r_at) in pulses {
+        q.schedule(SimTime::from_micros(p_at), Ev::Pause(CpuId(0)));
+        q.schedule(SimTime::from_micros(r_at), Ev::Resume(CpuId(0)));
+    }
+    for cpu in kernel.known_cpus() {
+        arm(kernel, &mut q, cpu, SimTime::ZERO);
+    }
+    while let Some((t, ev)) = q.pop() {
+        if t > until {
+            break;
+        }
+        let acts = match ev {
+            Ev::Decide(cpu) => kernel.decide(cpu, t),
+            Ev::Wake(tid) => kernel.wakeup(tid, t),
+            Ev::Pause(cpu) => kernel.pause_cpu(cpu, t),
+            Ev::Resume(cpu) => kernel.resume_cpu(cpu, t),
+        };
+        for a in acts {
+            match a {
+                KernelAction::ArmWakeup { tid, at } => {
+                    q.schedule(at, Ev::Wake(tid));
+                }
+                KernelAction::Rearm { cpu } => arm(kernel, &mut q, cpu, t),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A generated program segment (durations in µs, bounded to keep
+/// test horizons small).
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (1u64..500).prop_map(|us| Segment::UserCompute(SimDuration::from_micros(us))),
+        (1u64..300).prop_map(|us| Segment::KernelPreemptible(SimDuration::from_micros(us))),
+        (1u64..800).prop_map(|us| Segment::nonpreemptible(SimDuration::from_micros(us))),
+        (1u64..400, 0u32..3).prop_map(|(us, l)| Segment::locked(
+            SimDuration::from_micros(us),
+            LockId(l)
+        )),
+        (1u64..200).prop_map(|us| Segment::Sleep(SimDuration::from_micros(us))),
+        Just(Segment::Yield),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(segment_strategy(), 1..8).prop_map(|segs| {
+        let mut p = Program::new();
+        for s in segs {
+            p = p.then(s);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated workload runs to completion, with CPU time
+    /// exactly equal to the programs' total demand.
+    #[test]
+    fn all_threads_finish_with_exact_accounting(
+        programs in prop::collection::vec(program_strategy(), 1..12),
+        ncpus in 1u32..5,
+    ) {
+        let cpus: Vec<CpuId> = (0..ncpus).map(CpuId).collect();
+        let mut k = Kernel::new(KernelConfig::default(), &cpus);
+        let affinity: CpuSet = cpus.iter().copied().collect();
+        let mut expect = SimDuration::ZERO;
+        let mut tids = Vec::new();
+        let mut pending = Vec::new();
+        for p in &programs {
+            expect += p.total_cpu_time();
+            let (tid, acts) = k.spawn(p.clone(), affinity, SimTime::ZERO);
+            pending.extend(acts);
+            tids.push(tid);
+        }
+        drive(&mut k, pending, SimTime::from_secs(60));
+        let mut total = SimDuration::ZERO;
+        for tid in tids {
+            let t = k.thread_info(tid);
+            prop_assert_eq!(t.state, ThreadState::Finished, "{:?} stuck at pc {}", tid, t.pc);
+            prop_assert!(t.holding.is_none(), "finished holding a lock");
+            total += t.cpu_time;
+        }
+        prop_assert_eq!(total, expect, "CPU-time accounting drifted");
+    }
+
+    /// Pausing and resuming CPUs at arbitrary instants never loses or
+    /// invents work.
+    #[test]
+    fn pause_resume_preserves_accounting(
+        programs in prop::collection::vec(program_strategy(), 1..6),
+        pauses in prop::collection::vec((0u64..20_000, 1u64..5_000), 1..10),
+    ) {
+        let cpus: Vec<CpuId> = (0..2).map(CpuId).collect();
+        let mut k = Kernel::new(KernelConfig::default(), &cpus);
+        let affinity: CpuSet = cpus.iter().copied().collect();
+        let mut expect = SimDuration::ZERO;
+        let mut tids = Vec::new();
+        let mut pending = Vec::new();
+        for p in &programs {
+            expect += p.total_cpu_time();
+            let (tid, acts) = k.spawn(p.clone(), affinity, SimTime::ZERO);
+            pending.extend(acts);
+            tids.push(tid);
+        }
+        // Non-overlapping pause/resume pulses on CPU 0.
+        let mut pulses = Vec::new();
+        let mut clock = 0u64;
+        for (start_us, len_us) in pauses {
+            clock = clock.max(start_us);
+            pulses.push((clock, clock + len_us));
+            clock += len_us + 1;
+        }
+        drive_with_pulses(&mut k, pending, &pulses, SimTime::from_secs(120));
+        let mut total = SimDuration::ZERO;
+        for tid in tids {
+            let t = k.thread_info(tid);
+            prop_assert_eq!(t.state, ThreadState::Finished, "{:?} stuck", tid);
+            total += t.cpu_time;
+        }
+        prop_assert_eq!(total, expect);
+    }
+
+    /// Turnaround is never less than the program's own CPU demand plus
+    /// its sleeps (causality).
+    #[test]
+    fn turnaround_respects_causality(program in program_strategy()) {
+        let cpus = [CpuId(0)];
+        let mut k = Kernel::new(KernelConfig::default(), &cpus);
+        let sleeps: SimDuration = program
+            .segments()
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Sleep(d) => Some(*d),
+                _ => None,
+            })
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        let floor = program.total_cpu_time() + sleeps;
+        let (tid, acts) = k.spawn(program, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        drive(&mut k, acts, SimTime::from_secs(60));
+        let t = k.thread_info(tid);
+        prop_assert_eq!(t.state, ThreadState::Finished);
+        prop_assert!(t.turnaround().expect("finished") >= floor);
+    }
+
+    /// CpuSet behaves like a reference set implementation.
+    #[test]
+    fn cpuset_matches_btreeset(ops in prop::collection::vec((0u32..64, any::<bool>()), 0..100)) {
+        let mut set = CpuSet::EMPTY;
+        let mut model = std::collections::BTreeSet::new();
+        for (id, insert) in ops {
+            if insert {
+                set.insert(CpuId(id));
+                model.insert(id);
+            } else {
+                set.remove(CpuId(id));
+                model.remove(&id);
+            }
+        }
+        prop_assert_eq!(set.len() as usize, model.len());
+        let got: Vec<u32> = set.iter().map(|c| c.0).collect();
+        let want: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic event queue.
+//!
+//! The queue orders events by `(time, sequence)` so that events scheduled
+//! at the same instant fire in insertion order — a hard requirement for
+//! reproducibility. Cancellation is lazy: [`EventQueue::schedule`]
+//! returns an [`EventToken`]; cancelled tokens are dropped when popped.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour on BinaryHeap (a max-heap).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug
+    /// builds; in release builds the event fires immediately (at `now`).
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event in the past: {time:?} < now {:?}",
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the token had not already fired or been
+    /// cancelled. Cancelling an already-fired token is a no-op.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(token.0)
+    }
+
+    /// Pops the next non-cancelled event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Returns the time of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending (possibly cancelled-but-unswept) events.
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert!(q.cancel(t1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime::from_nanos(10), ());
+        assert!(q.cancel(t));
+        assert!(!q.cancel(t));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        assert!(q.cancel(t));
+        // The cancellation is recorded but never matches a popped event;
+        // subsequent scheduling still works.
+        q.schedule(SimTime::from_nanos(20), ());
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        q.cancel(t1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (10, 1));
+        // Schedule relative to the new now.
+        q.schedule(q.now() + crate::time::SimDuration::from_nanos(5), 2u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (15, 2));
+    }
+}

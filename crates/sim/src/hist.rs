@@ -1,0 +1,429 @@
+//! HDR-style log-linear histogram for latency recording.
+//!
+//! Values (typically nanoseconds) are bucketed with bounded relative
+//! error: each power-of-two range is split into `SUB_BUCKETS` linear
+//! sub-buckets, giving ~1.6% worst-case relative error with the default
+//! of 64 sub-buckets — more than enough to report the percentiles the
+//! paper's tables use (p50/p99/p999, min/avg/max/mdev).
+
+use std::fmt;
+
+/// Sub-buckets per power-of-two range; must be a power of two.
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// A log-linear histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    sum_sq: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let v = value as f64;
+        self.sum_sq += v * v;
+    }
+
+    /// Records `n` occurrences of the same sample.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let v = value as f64;
+        self.sum_sq += v * v * n as f64;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (0.0 when fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        let var = (self.sum_sq / n - mean * mean).max(0.0);
+        var.sqrt()
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, by bucket interpolation.
+    ///
+    /// Returns 0 for an empty histogram. `q <= 0` returns the minimum,
+    /// `q >= 1` the maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                // Report the bucket midpoint, clamped to observed range.
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience alias: percentile in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Returns the empirical CDF as `(upper_bound, cumulative_fraction)`
+    /// pairs, one per non-empty bucket.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            let (_, hi) = Self::bucket_bounds(idx);
+            out.push((hi, seen as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// Fraction of samples strictly below `threshold`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = Self::bucket_bounds(idx);
+            if hi <= threshold {
+                below += c;
+            } else if lo < threshold {
+                // Linear interpolation within the straddling bucket.
+                let frac = (threshold - lo) as f64 / (hi - lo).max(1) as f64;
+                below += (c as f64 * frac) as u64;
+            }
+        }
+        below as f64 / self.count as f64
+    }
+
+    /// Counts samples in `[lo, hi)` by whole-bucket attribution.
+    pub fn count_between(&self, lo: u64, hi: u64) -> u64 {
+        let mut total = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (blo, bhi) = Self::bucket_bounds(idx);
+            let mid = blo + (bhi - blo) / 2;
+            if mid >= lo && mid < hi {
+                total += c;
+            }
+        }
+        total
+    }
+
+    /// Maps a value to its bucket index.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BITS;
+        let sub = ((value >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+        ((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Returns the `[lo, hi)` value range covered by bucket `idx`.
+    fn bucket_bounds(idx: usize) -> (u64, u64) {
+        let tier = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if tier == 0 {
+            return (sub, sub + 1);
+        }
+        let shift = tier as u32 - 1;
+        let base = (SUB_BUCKETS as u64) << shift;
+        let width = 1u64 << shift;
+        (base + sub * width, base + (sub + 1) * width)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 3.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_contain_values() {
+        let mut prev_hi = 0u64;
+        for idx in 0..(SUB_BUCKETS * 10) {
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert_eq!(lo, prev_hi, "gap at bucket {idx}");
+            assert!(hi > lo);
+            prev_hi = hi;
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        // Every probed value must land in a bucket whose bounds contain it.
+        let probes: Vec<u64> = (0..64)
+            .chain([64, 65, 100, 127, 128, 1000, 4096, 1 << 20, (1 << 40) + 12345])
+            .collect();
+        for v in probes {
+            let idx = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "value {v} not in bucket [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let v = 1_234_567u64;
+        h.record(v);
+        let got = h.quantile(0.5);
+        let err = (got as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.02, "relative error {err}");
+    }
+
+    #[test]
+    fn percentiles_ordering() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        let p999 = h.percentile(99.9);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        // p50 of uniform 100..=1_000_000 is ~500_000.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05, "{p50}");
+    }
+
+    #[test]
+    fn fraction_below_matches_uniform() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let f = h.fraction_below(500);
+        assert!((f - 0.5).abs() < 0.02, "fraction {f}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for i in 0..500u64 {
+            a.record(i * 3);
+            combined.record(i * 3);
+        }
+        for i in 0..700u64 {
+            b.record(i * 7 + 1);
+            combined.record(i * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.percentile(50.0), combined.percentile(50.0));
+        assert_eq!(a.percentile(99.0), combined.percentile(99.0));
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(12345, 10);
+        for _ in 0..10 {
+            b.record(12345);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        assert!(h.stddev() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_known_case() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(4);
+        h.record(4);
+        h.record(4);
+        h.record(5);
+        h.record(5);
+        h.record(7);
+        h.record(9);
+        // Classic example: population stddev = 2.
+        assert!((h.stddev() - 2.0).abs() < 1e-9, "{}", h.stddev());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * i % 100_000);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation substrate for the Tai Chi
+//! reproduction.
+//!
+//! This crate provides the building blocks every other crate in the
+//! workspace rests on:
+//!
+//! - [`time`]: a nanosecond-resolution virtual clock ([`SimTime`],
+//!   [`SimDuration`]).
+//! - [`event`]: a deterministic event queue with FIFO tie-breaking and
+//!   lazy cancellation tokens.
+//! - [`rng`]: a seedable, forkable pseudo-random number generator
+//!   (SplitMix64-seeded xoshiro256**) so simulation runs are
+//!   bit-reproducible across machines and Rust versions.
+//! - [`dist`]: probability distributions (exponential, log-normal,
+//!   Pareto, empirical, ...) used to model workloads and routine
+//!   durations.
+//! - [`hist`]: an HDR-style log-linear histogram for latency recording
+//!   with percentile and CDF extraction.
+//! - [`stats`]: online summary statistics, counters, and time-weighted
+//!   utilization meters.
+//! - [`report`]: plain-text table and CSV formatting used by the
+//!   experiment binaries.
+//!
+//! Everything here is `std`-only and dependency-free by design: the
+//! reproduction contract requires identical results for identical seeds.
+
+pub mod dist;
+pub mod event;
+pub mod hist;
+pub mod report;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use dist::Dist;
+pub use event::{EventQueue, EventToken};
+pub use hist::Histogram;
+pub use rng::Rng;
+pub use series::TimeSeries;
+pub use stats::{Counter, OnlineStats, UtilizationMeter};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,187 @@
+//! Fixed-interval time series.
+//!
+//! Records scalar samples against simulated time on a fixed sampling
+//! grid — the shape used for utilization traces (Fig. 3's per-second
+//! fleet sweep) and for plotting any metric's evolution over a run.
+//! Values land in the bucket their timestamp falls into; multiple
+//! samples per bucket average.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Upper bound on the number of buckets a series may grow to (~16 M;
+/// at a 1 ms interval that is over four hours of simulated time). A
+/// sample beyond this range indicates a timestamp bug in the caller,
+/// and recording it panics instead of attempting an enormous
+/// allocation.
+pub const MAX_BUCKETS: usize = 1 << 24;
+
+/// A scalar time series on a fixed sampling interval.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    interval: SimDuration,
+    origin: SimTime,
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+impl TimeSeries {
+    /// Creates a series sampled every `interval`, starting at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(origin: SimTime, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be non-zero");
+        TimeSeries {
+            interval,
+            origin,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Records `value` at `at`. Samples before the origin are clamped
+    /// into the first bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` lies more than [`MAX_BUCKETS`] intervals past
+    /// the origin — a far-future timestamp that would otherwise force
+    /// a multi-gigabyte allocation.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.saturating_since(self.origin).as_nanos() / self.interval.as_nanos())
+            as usize;
+        assert!(
+            idx < MAX_BUCKETS,
+            "sample at {at} is {idx} intervals past the series origin (max {MAX_BUCKETS})"
+        );
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of buckets spanned so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Mean value of bucket `idx`, `None` for empty buckets.
+    pub fn bucket(&self, idx: usize) -> Option<f64> {
+        match (self.sums.get(idx), self.counts.get(idx)) {
+            (Some(&s), Some(&c)) if c > 0 => Some(s / c as f64),
+            _ => None,
+        }
+    }
+
+    /// The start time of bucket `idx`.
+    pub fn bucket_start(&self, idx: usize) -> SimTime {
+        self.origin + SimDuration::from_nanos(self.interval.as_nanos() * idx as u64)
+    }
+
+    /// Iterates `(bucket_start, mean)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        (0..self.len()).filter_map(move |i| self.bucket(i).map(|v| (self.bucket_start(i), v)))
+    }
+
+    /// Largest bucket mean (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.iter().map(|(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean over all recorded samples (not bucket means).
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.sums.iter().sum();
+        let n: u32 = self.counts.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(SimTime::ZERO, SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn buckets_by_interval() {
+        let mut s = series();
+        s.record(SimTime::from_millis(1), 1.0);
+        s.record(SimTime::from_millis(9), 3.0);
+        s.record(SimTime::from_millis(15), 10.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bucket(0), Some(2.0));
+        assert_eq!(s.bucket(1), Some(10.0));
+        assert_eq!(s.bucket(2), None);
+        assert_eq!(s.bucket_start(1), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn sparse_buckets_are_none() {
+        let mut s = series();
+        s.record(SimTime::from_millis(35), 7.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.bucket(0), None);
+        assert_eq!(s.bucket(3), Some(7.0));
+        let points: Vec<_> = s.iter().collect();
+        assert_eq!(points, vec![(SimTime::from_millis(30), 7.0)]);
+    }
+
+    #[test]
+    fn pre_origin_clamps_to_first_bucket() {
+        let mut s = TimeSeries::new(SimTime::from_millis(100), SimDuration::from_millis(10));
+        s.record(SimTime::from_millis(50), 5.0);
+        assert_eq!(s.bucket(0), Some(5.0));
+    }
+
+    #[test]
+    fn summary_stats() {
+        let mut s = series();
+        for i in 0..10u64 {
+            s.record(SimTime::from_millis(i * 10 + 1), i as f64);
+        }
+        assert_eq!(s.max(), 9.0);
+        assert!((s.mean() - 4.5).abs() < 1e-12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = series();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.interval(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        TimeSeries::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals past the series origin")]
+    fn far_future_sample_panics_instead_of_allocating() {
+        let mut s = series();
+        s.record(SimTime::MAX, 1.0);
+    }
+}

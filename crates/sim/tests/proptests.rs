@@ -1,0 +1,157 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use taichi_sim::{Dist, EventQueue, Histogram, OnlineStats, Rng, SimDuration, SimTime};
+
+proptest! {
+    /// The histogram's quantiles track a naive sorted-vector oracle
+    /// within the structure's documented ~2 % relative error.
+    #[test]
+    fn histogram_quantiles_match_oracle(
+        mut values in prop::collection::vec(1u64..10_000_000, 50..500),
+        q in 0.01f64..0.99,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let idx = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+        let oracle = values[idx] as f64;
+        let got = h.quantile(q) as f64;
+        // Bucketed quantiles may differ by the bucket width (~1.6 %)
+        // plus one sample of discreteness at small counts.
+        let tolerance = oracle * 0.04 + values[values.len() - 1] as f64 * 0.02;
+        prop_assert!(
+            (got - oracle).abs() <= tolerance + 2.0,
+            "q={q} got={got} oracle={oracle}"
+        );
+    }
+
+    /// Histogram count/min/max/mean are exact regardless of bucketing.
+    #[test]
+    fn histogram_moments_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = sum as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in prop::collection::vec(0u64..100_000, 0..200),
+        b in prop::collection::vec(0u64..100_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.quantile(0.5), hc.quantile(0.5));
+        prop_assert_eq!(ha.quantile(0.99), hc.quantile(0.99));
+        prop_assert_eq!(ha.max(), hc.max());
+    }
+
+    /// The event queue pops in nondecreasing time order and returns
+    /// exactly the live (non-cancelled) events.
+    #[test]
+    fn event_queue_total_order(
+        times in prop::collection::vec(0u64..1_000_000, 1..200),
+        cancel_every in 2usize..7,
+    ) {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            tokens.push((q.schedule(SimTime::from_nanos(t), i), i));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (tok, i) in tokens.iter().step_by(cancel_every) {
+            q.cancel(*tok);
+            cancelled.insert(*i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            prop_assert!(!cancelled.contains(&i), "cancelled event fired");
+            last = t;
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len() - cancelled.len());
+    }
+
+    /// Ties at the same timestamp preserve insertion order.
+    #[test]
+    fn event_queue_fifo_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+        }
+    }
+
+    /// All distributions produce finite non-negative samples.
+    #[test]
+    fn distributions_nonnegative_finite(seed in any::<u64>(), mean in 0.1f64..1e6) {
+        let dists = [
+            Dist::exponential(mean),
+            Dist::uniform(0.0, mean),
+            Dist::LogNormal { mean, sigma: 1.0 },
+            Dist::Pareto { scale: mean, shape: 1.5 },
+            Dist::BoundedPareto { scale: 1.0, shape: 1.2, cap: mean.max(2.0) },
+        ];
+        let mut rng = Rng::new(seed);
+        for d in &dists {
+            for _ in 0..100 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
+            }
+        }
+    }
+
+    /// RNG ranges are honoured for arbitrary bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..100_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let v = rng.gen_range(lo, lo + width);
+            prop_assert!((lo..lo + width).contains(&v));
+        }
+    }
+
+    /// Welford statistics match naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrip(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: co-schedule control-plane tasks with a loaded data
+//! plane and compare Tai Chi against the static-partitioning baseline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taichi::core::machine::{Machine, Mode};
+use taichi::core::metrics::RunReport;
+use taichi::core::MachineConfig;
+use taichi::cp::SynthCp;
+use taichi::dp::{ArrivalPattern, TrafficGen};
+use taichi::hw::{CpuId, IoKind};
+use taichi::sim::{Dist, Rng, SimTime};
+
+/// Bursty traffic averaging ~30 % across the 8 data-plane CPUs.
+fn traffic() -> TrafficGen {
+    TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(0.21),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..8).map(CpuId).collect(),
+    )
+}
+
+fn run(mode: Mode) -> RunReport {
+    let mut machine = Machine::new(MachineConfig::default(), mode);
+    machine.add_traffic(traffic());
+
+    // 16 concurrent control-plane tasks, ~50 ms of CPU each, mixing
+    // user compute, syscalls and non-preemptible kernel routines.
+    // Nothing in these programs knows Tai Chi exists: under Tai Chi
+    // they additionally run on vCPUs purely via CPU affinity.
+    let synth = SynthCp::default();
+    let mut rng = Rng::new(7);
+    machine.schedule_cp_batch(synth.workload(16, &mut rng), SimTime::ZERO);
+
+    machine.run_until(SimTime::from_secs(2));
+    RunReport::collect(&machine)
+}
+
+fn main() {
+    println!("simulating a 12-CPU SmartNIC (8 DP + 4 CP) for 2 s ...\n");
+    let baseline = run(Mode::Baseline);
+    let taichi = run(Mode::TaiChi);
+
+    let fmt = |r: &RunReport| {
+        format!(
+            "packets {:>9}  dp-p99 {:>6.1} us  cp-mean {:>6.1} ms  yields {:>6}",
+            r.dp.packets(),
+            r.dp.total_latency().percentile(99.0) as f64 / 1e3,
+            r.mean_cp_turnaround_ms(),
+            r.yields,
+        )
+    };
+    println!("baseline : {}", fmt(&baseline));
+    println!("tai chi  : {}", fmt(&taichi));
+
+    let speedup = baseline.mean_cp_turnaround_ms() / taichi.mean_cp_turnaround_ms();
+    let dp_overhead = (taichi.dp.total_latency().mean() - baseline.dp.total_latency().mean())
+        / baseline.dp.total_latency().mean();
+    println!();
+    println!("control-plane speedup : {speedup:.2}x");
+    println!("data-plane overhead   : {:+.2}%", dp_overhead * 100.0);
+    println!(
+        "hw-probe preemptions  : {} (vCPUs evicted inside the 3.2 us I/O window)",
+        taichi.hw_probe_exits
+    );
+
+    assert!(speedup > 1.2, "Tai Chi should speed up the control plane");
+    assert!(dp_overhead < 0.05, "data-plane SLO must hold");
+    println!("\nOK: control plane faster, data plane unharmed.");
+}

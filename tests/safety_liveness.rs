@@ -1,0 +1,178 @@
+//! Safety and liveness under adversarial configurations: lock storms,
+//! degenerate CPU splits, zero or tiny vCPU pools.
+
+use taichi::core::config::TaiChiConfig;
+use taichi::core::machine::{Machine, Mode};
+use taichi::core::metrics::RunReport;
+use taichi::core::MachineConfig;
+use taichi::cp::TaskFactory;
+use taichi::dp::{ArrivalPattern, TrafficGen};
+use taichi::hw::{CpuId, IoKind, SmartNicSpec};
+use taichi::os::{LockId, Program};
+use taichi::sim::{Dist, Rng, SimDuration, SimTime};
+
+fn bursty(dp_cpus: u32) -> TrafficGen {
+    TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(1.5 / 0.9 / dp_cpus as f64),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..dp_cpus).map(CpuId).collect(),
+    )
+}
+
+#[test]
+fn lock_storm_makes_forward_progress_in_all_taichi_modes() {
+    // 30 tasks all hammering the same driver lock, under traffic that
+    // constantly preempts their vCPUs: §4.1's safe rescheduling must
+    // guarantee completion.
+    let factory = TaskFactory::default();
+    for mode in [Mode::TaiChi, Mode::TaiChiNoHwProbe, Mode::TaiChiVdp] {
+        let cfg = MachineConfig {
+            seed: 31,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, mode);
+        m.add_traffic(bursty(8));
+        let mut rng = Rng::new(32);
+        let progs: Vec<Program> = (0..30)
+            .map(|_| factory.device_init(LockId(1), 3, &mut rng))
+            .collect();
+        m.schedule_cp_batch(progs, SimTime::ZERO);
+        m.run_until(SimTime::from_secs(6));
+        let r = RunReport::collect(&m);
+        assert_eq!(r.cp_finished, 30, "{mode}: lock storm wedged");
+        assert!(
+            r.lock_reschedules > 0 || r.yields == 0,
+            "{mode}: contended grants should trigger safe reschedules"
+        );
+    }
+}
+
+#[test]
+fn single_vcpu_pool_still_works() {
+    let cfg = MachineConfig {
+        seed: 33,
+        taichi: TaiChiConfig {
+            num_vcpus: 1,
+            ..TaiChiConfig::default()
+        },
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    m.add_traffic(bursty(8));
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(34);
+    let progs: Vec<Program> = (0..10)
+        .map(|_| factory.device_init(LockId(2), 2, &mut rng))
+        .collect();
+    m.schedule_cp_batch(progs, SimTime::ZERO);
+    m.run_until(SimTime::from_secs(4));
+    let r = RunReport::collect(&m);
+    assert_eq!(r.cp_finished, 10);
+    assert!(r.yields > 0, "the lone vCPU should still be granted time");
+}
+
+#[test]
+fn zero_vcpus_degenerates_to_working_baseline() {
+    let cfg = MachineConfig {
+        seed: 35,
+        taichi: TaiChiConfig {
+            num_vcpus: 0,
+            ..TaiChiConfig::default()
+        },
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    m.add_traffic(bursty(8));
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(36);
+    let progs: Vec<Program> = (0..8).map(|_| factory.orchestration(&mut rng)).collect();
+    m.schedule_cp_batch(progs, SimTime::ZERO);
+    m.run_until(SimTime::from_secs(2));
+    let r = RunReport::collect(&m);
+    assert_eq!(r.cp_finished, 8);
+    assert_eq!(r.yields, 0, "no vCPUs, no yields");
+}
+
+#[test]
+fn minimal_smartnic_split_works() {
+    // A 2-CPU SoC: 1 DP + 1 CP.
+    let cfg = MachineConfig {
+        seed: 37,
+        spec: SmartNicSpec::with_split(2, 1),
+        taichi: TaiChiConfig {
+            num_vcpus: 2,
+            ..TaiChiConfig::default()
+        },
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    m.add_traffic(bursty(1));
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(38);
+    let progs: Vec<Program> = (0..4).map(|_| factory.orchestration(&mut rng)).collect();
+    m.schedule_cp_batch(progs, SimTime::ZERO);
+    m.run_until(SimTime::from_secs(3));
+    let r = RunReport::collect(&m);
+    assert_eq!(r.cp_finished, 4);
+    assert!(r.dp.packets() > 1000, "the single DP CPU keeps serving");
+}
+
+#[test]
+fn oversubscribed_vcpu_pool() {
+    // More vCPUs than physical CPUs on the whole SoC: placement must
+    // still be one-vCPU-per-core and everything completes.
+    let cfg = MachineConfig {
+        seed: 39,
+        taichi: TaiChiConfig {
+            num_vcpus: 24,
+            ..TaiChiConfig::default()
+        },
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    m.add_traffic(bursty(8));
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(40);
+    let progs: Vec<Program> = (0..40)
+        .map(|_| factory.build(taichi::cp::CpTaskKind::DeviceManagement, &mut rng))
+        .collect();
+    m.schedule_cp_batch(progs, SimTime::ZERO);
+    m.run_until(SimTime::from_secs(6));
+    let r = RunReport::collect(&m);
+    assert_eq!(r.cp_finished, 40, "oversubscription must not wedge");
+}
+
+#[test]
+fn saturating_traffic_starves_yields_not_correctness() {
+    // At 130 % offered load the data plane never goes idle: Tai Chi
+    // must stop yielding (the adaptive threshold does its job) while
+    // CP work still completes on the dedicated CP pCPUs.
+    let cfg = MachineConfig {
+        seed: 41,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OpenLoop {
+            gap_us: Dist::exponential(1.5 / 1.3 / 8.0),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..8).map(CpuId).collect(),
+    ));
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(42);
+    let progs: Vec<Program> = (0..6).map(|_| factory.orchestration(&mut rng)).collect();
+    m.schedule_cp_batch(progs, SimTime::ZERO);
+    m.run_until(SimTime::from_millis(600));
+    let r = RunReport::collect(&m);
+    assert_eq!(r.cp_finished, 6, "CP still completes on its own pCPUs");
+    // Throughput is capacity-bound, not offered-bound.
+    let cap = 8.0 / 1.5e-6;
+    assert!(r.dp_pps() < cap * 1.05, "throughput {} capped", r.dp_pps());
+}

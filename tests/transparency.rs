@@ -1,0 +1,135 @@
+//! The zero-modification transparency claim (C3, §4.2): control-plane
+//! programs contain no Tai Chi concepts, yet execute correctly on
+//! vCPUs, keep native IPC semantics, and behave identically across
+//! deployment modes.
+
+use taichi::core::machine::{Machine, Mode};
+use taichi::core::MachineConfig;
+use taichi::cp::{CpTaskKind, TaskFactory};
+use taichi::os::{Program, Segment, ThreadState};
+use taichi::sim::{Rng, SimDuration, SimTime};
+
+fn machine(mode: Mode, seed: u64) -> Machine {
+    let cfg = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    Machine::new(cfg, mode)
+}
+
+#[test]
+fn identical_programs_run_in_every_mode() {
+    // The very same Program values — bit-identical — complete in every
+    // mode; only scheduling differs.
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(11);
+    let programs: Vec<Program> = (0..6)
+        .map(|i| {
+            let kind = match i % 3 {
+                0 => CpTaskKind::DeviceManagement,
+                1 => CpTaskKind::Monitoring,
+                _ => CpTaskKind::Orchestration,
+            };
+            factory.build(kind, &mut rng)
+        })
+        .collect();
+    for mode in Mode::all() {
+        let mut m = machine(mode, 21);
+        let batch = m.schedule_cp_batch(programs.clone(), SimTime::ZERO);
+        m.run_until(SimTime::from_secs(2));
+        for &tid in m.batch_threads(batch) {
+            assert_eq!(
+                m.kernel().thread_info(tid).state,
+                ThreadState::Finished,
+                "{mode}: program stranded"
+            );
+        }
+    }
+}
+
+#[test]
+fn native_notify_ipc_crosses_the_virtualization_boundary() {
+    // A sleeper and a notifier, spawned as plain programs. Under Tai
+    // Chi they may land on vCPUs and pCPUs arbitrarily; the Notify
+    // (signal/futex analogue) must still wake the sleeper via the
+    // unified IPI orchestrator.
+    let mut m = machine(Mode::TaiChi, 22);
+    let sleeper = Program::new()
+        .compute(SimDuration::from_micros(100))
+        .sleep(SimDuration::from_secs(30))
+        .compute(SimDuration::from_micros(100));
+    let b1 = m.schedule_cp_batch(vec![sleeper], SimTime::ZERO);
+    m.run_until(SimTime::from_millis(5));
+    let sleeper_tid = m.batch_threads(b1)[0];
+    assert_eq!(
+        m.kernel().thread_info(sleeper_tid).state,
+        ThreadState::Sleeping
+    );
+    let notifier = Program::new()
+        .compute(SimDuration::from_micros(50))
+        .then(Segment::Notify {
+            target: sleeper_tid,
+        });
+    let b2 = m.schedule_cp_batch(vec![notifier], m.now());
+    m.run_until(SimTime::from_millis(100));
+    assert_eq!(
+        m.kernel().thread_info(sleeper_tid).state,
+        ThreadState::Finished,
+        "notify must cut the 30 s sleep short"
+    );
+    assert_eq!(
+        m.kernel().thread_info(m.batch_threads(b2)[0]).state,
+        ThreadState::Finished
+    );
+    // The wake completed far before the nominal sleep expiry.
+    let t = m.kernel().thread_info(sleeper_tid).finished_at;
+    assert!(t.expect("finished") < SimTime::from_secs(1));
+}
+
+#[test]
+fn monitoring_loops_keep_their_cadence_on_vcpus() {
+    // Periodic monitors (sleep-based cadence) must not drift massively
+    // just because their CPU time comes from borrowed DP cycles.
+    let factory = TaskFactory::default();
+    let mut rng = Rng::new(23);
+    let monitor = factory.monitoring(10, SimDuration::from_millis(5), &mut rng);
+    let ideal_ms = 10.0 * 5.0; // ten 5 ms sleeps dominate the runtime
+    for mode in [Mode::Baseline, Mode::TaiChi] {
+        let mut m = machine(mode, 24);
+        let b = m.schedule_cp_batch(vec![monitor.clone()], SimTime::ZERO);
+        m.run_until(SimTime::from_secs(2));
+        let tid = m.batch_threads(b)[0];
+        let t = m.kernel().thread_info(tid);
+        assert_eq!(t.state, ThreadState::Finished, "{mode}");
+        let ms = t.turnaround().expect("finished").as_millis_f64();
+        assert!(
+            ms < ideal_ms * 1.5,
+            "{mode}: monitor cadence drifted to {ms:.1} ms"
+        );
+    }
+}
+
+#[test]
+fn vcpus_appear_as_native_cpus() {
+    let m = machine(Mode::TaiChi, 25);
+    let kernel = m.kernel();
+    // 4 CP pCPUs + 8 vCPUs registered and online.
+    let cpus = kernel.known_cpus();
+    assert_eq!(cpus.len(), 12);
+    for c in &cpus {
+        assert_eq!(
+            kernel.cpu_phase(*c),
+            Some(taichi::os::kernel::CpuPhase::Online),
+            "{c} must be online"
+        );
+    }
+    // vCPU IDs continue the physical numbering, like hotplugged cores.
+    assert!(cpus.iter().any(|c| c.0 >= 12));
+}
+
+#[test]
+fn baseline_has_no_vcpu_cpus() {
+    let m = machine(Mode::Baseline, 26);
+    assert_eq!(m.kernel().known_cpus().len(), 4);
+    assert!(m.vsched().is_empty());
+}
