@@ -1,12 +1,12 @@
-//! Criterion benchmark of whole-machine simulation throughput.
+//! Benchmark of whole-machine simulation throughput.
 //!
 //! Measures wall-clock cost per simulated interval for each scheduling
 //! mode — both a performance regression guard for the simulator and a
 //! sanity check that Tai Chi's extra machinery (probes, vCPU grants)
-//! does not blow up the event count.
+//! does not blow up the event count. Uses the in-repo timing loop
+//! ([`taichi_bench::bench_coarse`]) so the workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use taichi_bench::bench_coarse;
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::MachineConfig;
 use taichi_cp::SynthCp;
@@ -32,20 +32,12 @@ fn build(mode: Mode) -> Machine {
     m
 }
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_20ms");
-    g.sample_size(10);
+fn main() {
     for mode in [Mode::Baseline, Mode::TaiChi, Mode::Type2] {
-        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut m = build(mode);
-                m.run_until(SimTime::from_millis(20));
-                m.kernel().finished_count()
-            })
+        bench_coarse(&format!("simulate_20ms/{mode}"), 10, || {
+            let mut m = build(mode);
+            m.run_until(SimTime::from_millis(20));
+            m.kernel().finished_count()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

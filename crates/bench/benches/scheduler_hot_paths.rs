@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the Tai Chi scheduler hot paths.
+//! Micro-benchmarks of the Tai Chi scheduler hot paths.
 //!
 //! These are the operations on the per-packet / per-yield fast paths;
 //! the paper's "negligible scheduling overhead" claim rests on all of
-//! them being nanosecond-scale.
+//! them being nanosecond-scale. Uses the in-repo timing loop
+//! ([`taichi_bench::bench`]) so the workspace builds offline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use taichi_bench::bench;
 use taichi_core::orchestrator::IpiOrchestrator;
 use taichi_core::probe_sw::AdaptiveYield;
 use taichi_core::slice::AdaptiveSlice;
@@ -15,36 +17,29 @@ use taichi_os::{Kernel, KernelConfig};
 use taichi_sim::{EventQueue, Histogram, Rng, SimDuration, SimTime};
 use taichi_virt::VmExitReason;
 
-fn bench_hw_probe(c: &mut Criterion) {
+fn main() {
     let mut probe = HwWorkloadProbe::new(12);
     probe.set_state(CpuId(3), taichi_hw::CpuExecState::VState);
-    c.bench_function("hw_probe_check_on_packet", |b| {
-        b.iter(|| probe.check_on_packet(black_box(CpuId(3))))
+    bench("hw_probe_check_on_packet", || {
+        probe.check_on_packet(black_box(CpuId(3)))
     });
-}
 
-fn bench_adaptive_controllers(c: &mut Criterion) {
     let mut y = AdaptiveYield::new(12, 200, 25, 6400);
-    c.bench_function("adaptive_yield_update", |b| {
-        b.iter(|| {
-            y.on_vm_exit(black_box(CpuId(2)), VmExitReason::SliceExpired);
-            y.on_vm_exit(black_box(CpuId(2)), VmExitReason::HwProbe);
-        })
+    bench("adaptive_yield_update", || {
+        y.on_vm_exit(black_box(CpuId(2)), VmExitReason::SliceExpired);
+        y.on_vm_exit(black_box(CpuId(2)), VmExitReason::HwProbe);
     });
+
     let mut s = AdaptiveSlice::new(
         12,
         SimDuration::from_micros(50),
         SimDuration::from_micros(1600),
     );
-    c.bench_function("adaptive_slice_update", |b| {
-        b.iter(|| {
-            s.on_vm_exit(black_box(CpuId(2)), VmExitReason::SliceExpired);
-            s.on_vm_exit(black_box(CpuId(2)), VmExitReason::HwProbe);
-        })
+    bench("adaptive_slice_update", || {
+        s.on_vm_exit(black_box(CpuId(2)), VmExitReason::SliceExpired);
+        s.on_vm_exit(black_box(CpuId(2)), VmExitReason::HwProbe);
     });
-}
 
-fn bench_ipi_routing(c: &mut Criterion) {
     let cp: Vec<CpuId> = (8..12).map(CpuId).collect();
     let mut kernel = Kernel::new(KernelConfig::default(), &cp);
     let mut orch = IpiOrchestrator::new(12);
@@ -54,52 +49,28 @@ fn bench_ipi_routing(c: &mut Criterion) {
         dst: CpuId(14),
         vector: IrqVector::RESCHEDULE,
     };
-    c.bench_function("ipi_route", |b| {
-        b.iter(|| orch.route(black_box(msg), |i| i % 2 == 0))
-    });
-}
+    bench("ipi_route", || orch.route(black_box(msg), |i| i % 2 == 0));
 
-fn bench_vcpu_pick(c: &mut Criterion) {
     let ids: Vec<CpuId> = (12..20).map(CpuId).collect();
     let mut sched = VcpuScheduler::new(&ids, 12);
-    c.bench_function("vcpu_pick_runnable", |b| {
-        b.iter(|| sched.pick_runnable(|i| black_box(i) >= 4))
+    bench("vcpu_pick_runnable", || {
+        sched.pick_runnable(|i| black_box(i) >= 4)
     });
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            q.schedule(SimTime::from_nanos(t), t);
-            black_box(q.pop())
-        })
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    bench("event_queue_push_pop", || {
+        t += 100;
+        q.schedule(SimTime::from_nanos(t), t);
+        black_box(q.pop())
     });
-}
 
-fn bench_histogram(c: &mut Criterion) {
     let mut h = Histogram::new();
     let mut rng = Rng::new(1);
-    c.bench_function("histogram_record", |b| {
-        b.iter(|| h.record(black_box(rng.next_below(1_000_000))))
+    bench("histogram_record", || {
+        h.record(black_box(rng.next_below(1_000_000)))
     });
-}
 
-fn bench_rng(c: &mut Criterion) {
     let mut rng = Rng::new(42);
-    c.bench_function("rng_next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    bench("rng_next_u64", || black_box(rng.next_u64()));
 }
-
-criterion_group!(
-    benches,
-    bench_hw_probe,
-    bench_adaptive_controllers,
-    bench_ipi_routing,
-    bench_vcpu_pick,
-    bench_event_queue,
-    bench_histogram,
-    bench_rng
-);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! performance stays consistent with baseline by harvesting idle DP
 //! cycles.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::MachineConfig;
 use taichi_cp::TaskFactory;
@@ -71,6 +71,7 @@ fn cp_turnaround(cfg: MachineConfig, mode: Mode) -> f64 {
         t += SimDuration::from_millis(20);
     }
     m.run_until(SimTime::from_secs(3));
+    emit_trace(&format!("disc8_cp_{mode}"), &m);
     let k = m.kernel();
     let mut sum = 0.0;
     let mut n = 0u32;
@@ -87,6 +88,7 @@ fn cp_turnaround(cfg: MachineConfig, mode: Mode) -> f64 {
 }
 
 fn main() {
+    init_trace();
     // Peak IOPS: baseline 8 DP CPUs vs boosted 10 DP CPUs under Tai Chi.
     let iops_base = peak(default_cfg(), Mode::Baseline, IoKind::Storage, 4096.0);
     let iops_boost = peak(boosted_cfg(), Mode::TaiChi, IoKind::Storage, 4096.0);

@@ -8,7 +8,7 @@
 //! implemented behind `TaiChiConfig` flags; this binary quantifies
 //! each against stock Tai Chi.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::metrics::RunReport;
 use taichi_core::{MachineConfig, TaiChiConfig};
@@ -27,6 +27,10 @@ struct Outcome {
 }
 
 fn run(taichi: TaiChiConfig) -> Outcome {
+    let label = format!(
+        "ext_ablations_pipeline{}_cache{}",
+        taichi.pipeline_aware_yield as u8, taichi.cache_isolation as u8
+    );
     let cfg = MachineConfig {
         seed: seed(),
         taichi,
@@ -57,6 +61,7 @@ fn run(taichi: TaiChiConfig) -> Outcome {
         t += SimDuration::from_millis(2);
     }
     m.run_until(SimTime::from_millis(800));
+    emit_trace(&label, &m);
     let r = RunReport::collect(&m);
     Outcome {
         dp_mean_ns: r.dp.total_latency().mean(),
@@ -72,6 +77,7 @@ fn run(taichi: TaiChiConfig) -> Outcome {
 }
 
 fn main() {
+    init_trace();
     let stock = run(TaiChiConfig::default());
     let pipeline = run(TaiChiConfig {
         pipeline_aware_yield: true,

@@ -7,7 +7,7 @@
 //! static baseline at 32 tasks by harvesting the idle 70 % of the DP
 //! CPUs.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::metrics::RunReport;
 use taichi_core::MachineConfig;
@@ -67,9 +67,10 @@ fn run(mode: Mode, concurrency: u32) -> f64 {
         if done >= concurrency as usize || horizon >= SimTime::from_secs(30) {
             break;
         }
-        horizon = horizon + SimDuration::from_secs(1);
+        horizon += SimDuration::from_secs(1);
     }
     let _ = RunReport::collect(&m);
+    emit_trace(&format!("fig11_{mode}_c{concurrency}"), &m);
     let k = m.kernel();
     let mut sum = 0.0;
     for &tid in m.batch_threads(batch) {
@@ -83,6 +84,7 @@ fn run(mode: Mode, concurrency: u32) -> f64 {
 }
 
 fn main() {
+    init_trace();
     let mut t = Table::new(
         "Figure 11: synth_cp avg execution time vs concurrency (DP at ~30%)",
         &["concurrency", "baseline (ms)", "taichi (ms)", "speedup"],

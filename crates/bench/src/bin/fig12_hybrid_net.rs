@@ -10,6 +10,7 @@ use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::netperf::{run, NetperfCase};
 
 fn main() {
+    taichi_bench::init_trace();
     let modes = [Mode::Baseline, Mode::TaiChi, Mode::TaiChiVdp, Mode::Type2];
     let results: Vec<_> = modes
         .iter()

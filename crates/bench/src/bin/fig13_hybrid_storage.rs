@@ -8,6 +8,7 @@ use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::fio::FioRw;
 
 fn main() {
+    taichi_bench::init_trace();
     let fio = FioRw::default();
     let modes = [Mode::Baseline, Mode::TaiChi, Mode::TaiChiVdp, Mode::Type2];
     let results: Vec<_> = modes.iter().map(|&m| (m, fio.run(m, seed()))).collect();

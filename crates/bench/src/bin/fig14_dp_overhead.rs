@@ -10,6 +10,7 @@ use taichi_workloads::netperf::{self, NetperfCase};
 use taichi_workloads::sockperf;
 
 fn main() {
+    taichi_bench::init_trace();
     let mut t = Table::new(
         "Figure 14: Tai Chi DP performance normalized to baseline",
         &["case", "metric", "baseline", "taichi", "normalized"],
@@ -55,7 +56,13 @@ fn main() {
     let xt = sockperf::run_tcp(Mode::TaiChi, seed());
     let n = push(&mut t, "sockperf_tcp", "CPS", bt.cps, xt.cps);
     overheads.push(1.0 - n);
-    let n = push(&mut t, "sockperf_tcp", "avg_rx_pps", bt.avg_rx_pps, xt.avg_rx_pps);
+    let n = push(
+        &mut t,
+        "sockperf_tcp",
+        "avg_rx_pps",
+        bt.avg_rx_pps,
+        xt.avg_rx_pps,
+    );
     overheads.push(1.0 - n);
 
     let bu = sockperf::run_udp(Mode::Baseline, seed());

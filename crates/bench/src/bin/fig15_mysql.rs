@@ -9,6 +9,7 @@ use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::mysql;
 
 fn main() {
+    taichi_bench::init_trace();
     let base = mysql::run(Mode::Baseline, seed());
     let taichi = mysql::run(Mode::TaiChi, seed());
 
@@ -25,12 +26,7 @@ fn main() {
     ] {
         let over = (b - x) / b;
         overheads.push(over);
-        t.row(&[
-            name.to_string(),
-            grouped(b),
-            grouped(x),
-            pct(over),
-        ]);
+        t.row(&[name.to_string(), grouped(b), grouped(x), pct(over)]);
     }
     emit("fig15_mysql", &t);
 

@@ -9,6 +9,7 @@ use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::nginx;
 
 fn main() {
+    taichi_bench::init_trace();
     let base = nginx::run(Mode::Baseline, seed());
     let taichi = nginx::run(Mode::TaiChi, seed());
 

@@ -2,7 +2,7 @@
 //! without Tai Chi (the production result: 3.1× faster startups under
 //! Tai Chi at high density).
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::MachineConfig;
 use taichi_cp::{CpTaskKind, TaskFactory, VmCreateRequest};
@@ -52,14 +52,16 @@ fn run(mode: Mode, density: u32) -> f64 {
     let mut horizon = SimTime::from_secs(2);
     while (m.vm_startup_times().len() as u32) < vms && horizon < SimTime::from_secs(60) {
         m.run_until(horizon);
-        horizon = horizon + SimDuration::from_secs(2);
+        horizon += SimDuration::from_secs(2);
     }
+    emit_trace(&format!("fig17_{mode}_d{density}"), &m);
     let s = m.vm_startup_times();
     assert_eq!(s.len() as u32, vms, "all VMs must start ({mode})");
     s.iter().map(|d| d.as_millis_f64()).sum::<f64>() / s.len() as f64
 }
 
 fn main() {
+    init_trace();
     let mut t = Table::new(
         "Figure 17: avg VM startup time vs density, with/without Tai Chi",
         &["density", "baseline (ms)", "taichi (ms)", "reduction"],

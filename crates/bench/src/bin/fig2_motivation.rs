@@ -7,7 +7,7 @@
 //! roughly quadratically — the paper measures 8× CP-task degradation
 //! and a 3.1× SLO excess for VM startup at 4× density.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::MachineConfig;
 use taichi_cp::{TaskFactory, VmCreateRequest};
@@ -49,13 +49,15 @@ fn run_density(density: u32) -> (f64, f64) {
     let mut horizon = SimTime::from_secs(2);
     while (m.vm_startup_times().len() as u32) < vms && horizon < SimTime::from_secs(60) {
         m.run_until(horizon);
-        horizon = horizon + SimDuration::from_secs(2);
+        horizon += SimDuration::from_secs(2);
     }
+
+    emit_trace(&format!("fig2_motivation_d{density}"), &m);
 
     let startups = m.vm_startup_times();
     assert_eq!(startups.len() as u32, vms, "all VMs must start");
-    let mean_startup_ms = startups.iter().map(|d| d.as_millis_f64()).sum::<f64>()
-        / startups.len() as f64;
+    let mean_startup_ms =
+        startups.iter().map(|d| d.as_millis_f64()).sum::<f64>() / startups.len() as f64;
 
     // CP task execution time: mean device-init turnaround.
     let k = m.kernel();
@@ -74,6 +76,7 @@ fn run_density(density: u32) -> (f64, f64) {
 }
 
 fn main() {
+    init_trace();
     let mut rows = Vec::new();
     for d in 1..=4u32 {
         rows.push((d, run_density(d)));

@@ -8,7 +8,7 @@
 //! per-50 ms windows over a 20 s run (the simulation equivalent of the
 //! fleet-wide per-second sweep).
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, emit_trace, init_trace, seed};
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::MachineConfig;
 use taichi_dp::{ArrivalPattern, TrafficGen};
@@ -17,6 +17,7 @@ use taichi_sim::report::Table;
 use taichi_sim::{Dist, SimDuration, SimTime};
 
 fn main() {
+    init_trace();
     let cfg = MachineConfig {
         seed: seed(),
         ..MachineConfig::default()
@@ -42,6 +43,7 @@ fn main() {
     ));
     m.enable_util_sampling(SimDuration::from_millis(50));
     m.run_until(SimTime::from_secs(20));
+    emit_trace("fig3_dp_util_cdf", &m);
 
     let mut samples: Vec<f64> = m.util_samples().to_vec();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("utilization is finite"));
@@ -66,5 +68,9 @@ fn main() {
         n
     );
     let mean = samples.iter().sum::<f64>() / n as f64;
-    println!("mean DP utilization {:.1}% (idle {:.1}%)", mean * 100.0, (1.0 - mean) * 100.0);
+    println!(
+        "mean DP utilization {:.1}% (idle {:.1}%)",
+        mean * 100.0,
+        (1.0 - mean) * 100.0
+    );
 }

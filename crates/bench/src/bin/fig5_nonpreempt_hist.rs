@@ -11,6 +11,7 @@ use taichi_sim::report::{grouped, Table};
 use taichi_sim::{Histogram, Rng};
 
 fn main() {
+    taichi_bench::init_trace();
     const SAMPLES: u64 = 456_000;
     let dist = fig5_routine_ms();
     let mut rng = Rng::new(seed());
@@ -41,11 +42,7 @@ fn main() {
             format!("{:.2}%", n as f64 / SAMPLES as f64 * 100.0),
         ]);
     }
-    t.row(&[
-        "max observed".into(),
-        format!("{max_ms:.1} ms"),
-        "-".into(),
-    ]);
+    t.row(&["max observed".into(), format!("{max_ms:.1} ms"), "-".into()]);
     emit("fig5_nonpreempt_hist", &t);
 
     let share_1_5 = hist.count_between(1_000, 5_000) as f64 / SAMPLES as f64;

@@ -8,13 +8,12 @@
 
 use taichi_bench::{emit, seed};
 use taichi_core::TaiChiConfig;
-use taichi_hw::{
-    Accelerator, AcceleratorConfig, CpuId, HwWorkloadProbe, IoKind, Packet, PacketId,
-};
+use taichi_hw::{Accelerator, AcceleratorConfig, CpuId, HwWorkloadProbe, IoKind, Packet, PacketId};
 use taichi_sim::report::Table;
 use taichi_sim::{OnlineStats, Rng, SimTime};
 
 fn main() {
+    taichi_bench::init_trace();
     let mut accel = Accelerator::new(AcceleratorConfig::default());
     let mut probe = HwWorkloadProbe::new(12);
     let mut rng = Rng::new(seed());

@@ -26,6 +26,7 @@ use taichi_sim::report::Table;
 use taichi_sim::{Histogram, Rng, SimDuration};
 
 fn main() {
+    taichi_bench::init_trace();
     let mut rng = Rng::new(seed());
     let routine_ms = fig5_routine_ms();
 

@@ -11,6 +11,7 @@ use taichi_sim::report::{pct, Table};
 use taichi_workloads::fio::FioRw;
 
 fn main() {
+    taichi_bench::init_trace();
     let fio = FioRw::default();
     let base = fio.run(Mode::Baseline, seed());
     let t1 = fio.run(Mode::TaiChiVdp, seed());
@@ -20,7 +21,12 @@ fn main() {
 
     let mut t = Table::new(
         "Table 2: type-1 vs type-2 vs Tai Chi",
-        &["property", "Type-1 (Xen-like)", "Type-2 (QEMU+KVM)", "Tai Chi"],
+        &[
+            "property",
+            "Type-1 (Xen-like)",
+            "Type-2 (QEMU+KVM)",
+            "Tai Chi",
+        ],
     );
     t.row(&[
         "DP residency".into(),
@@ -40,12 +46,7 @@ fn main() {
         "guest OS".into(),
         "SmartNIC OS (vCPU)".into(),
     ]);
-    t.row(&[
-        "OS count".into(),
-        "1".into(),
-        "2".into(),
-        "1".into(),
-    ]);
+    t.row(&["OS count".into(), "1".into(), "2".into(), "1".into()]);
     t.row(&[
         "DP-CP IPC".into(),
         "native".into(),

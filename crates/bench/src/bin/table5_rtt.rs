@@ -12,6 +12,7 @@ use taichi_sim::report::{pct, Table};
 use taichi_workloads::ping;
 
 fn main() {
+    taichi_bench::init_trace();
     let modes = [
         ("Baseline", Mode::Baseline),
         ("Tai Chi", Mode::TaiChi),

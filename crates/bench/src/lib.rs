@@ -37,6 +37,83 @@ pub fn seed() -> u64 {
         .unwrap_or(0xD1CE)
 }
 
+/// True when `--trace` was passed to the experiment binary (or the
+/// `TAICHI_TRACE` environment variable is set): binaries then enable
+/// the scheduler trace layer and dump a TSV next to their CSV output.
+pub fn trace_requested() -> bool {
+    std::env::args().any(|a| a == "--trace") || std::env::var("TAICHI_TRACE").is_ok()
+}
+
+/// Call first in an experiment `main`: when `--trace` was passed, arms
+/// the `TAICHI_TRACE` override so every machine the binary builds
+/// (directly or through the workload helpers) records a scheduler
+/// trace. Returns whether tracing is armed. A non-empty `TAICHI_TRACE`
+/// value names the dump path; the empty value armed here keeps the
+/// per-experiment default destinations.
+pub fn init_trace() -> bool {
+    let on = trace_requested();
+    if on && std::env::var_os("TAICHI_TRACE").is_none() {
+        std::env::set_var("TAICHI_TRACE", "");
+    }
+    on
+}
+
+/// Dumps a machine's scheduler trace as `<name>.trace.tsv` under the
+/// results directory (no-op when the machine was built without
+/// tracing). `TAICHI_TRACE=<path>` overrides the destination.
+pub fn emit_trace(name: &str, machine: &taichi_core::machine::Machine) {
+    let Some(tsv) = machine.trace_tsv() else {
+        return;
+    };
+    let path = match std::env::var("TAICHI_TRACE") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => results_dir().join(format!("{name}.trace.tsv")),
+    };
+    if let Err(e) = fs::write(&path, tsv) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[trace] {}", path.display());
+    }
+}
+
+/// Minimal micro-benchmark loop (the workspace builds without network
+/// access, so Criterion is not available): runs `f` for a warmup, then
+/// measures batches until ~0.2 s elapses and prints ns/iter.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    const WARMUP: u32 = 1_000;
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut iters = 0u64;
+    let mut batch = 1_000u64;
+    let start = std::time::Instant::now();
+    loop {
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        iters += batch;
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<32} {per:>12.1} ns/iter ({iters} iters)");
+            return;
+        }
+        batch = batch.saturating_mul(2);
+    }
+}
+
+/// Like [`bench`] but for coarse operations (whole-machine runs):
+/// measures a fixed number of iterations and prints ms/iter.
+pub fn bench_coarse<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warmup
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<32} {per:>12.2} ms/iter ({iters} iters)");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

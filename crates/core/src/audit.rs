@@ -242,10 +242,7 @@ mod tests {
         let (report, _) = session.end(&mut k, end);
         assert_eq!(report.segments_retired, 5);
         assert_eq!(report.kernel_entries, 3, "2 syscalls + 1 routine");
-        assert_eq!(
-            report.audited_cpu_time,
-            SimDuration::from_micros(900)
-        );
+        assert_eq!(report.audited_cpu_time, SimDuration::from_micros(900));
         assert_eq!(report.session_length, SimDuration::from_secs(1));
     }
 
@@ -310,8 +307,7 @@ mod tests {
         let mut h = Harness::new();
         h.absorb(acts);
         h.run_until(&mut k, SimTime::from_micros(500));
-        let (session, a2) =
-            AuditSession::begin(&mut k, &mut orch, tid, SimTime::from_micros(500));
+        let (session, a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::from_micros(500));
         h.absorb(a2);
         h.run_until(&mut k, SimTime::from_secs(1));
         let (report, _) = session.end(&mut k, SimTime::from_secs(1));

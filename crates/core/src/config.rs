@@ -4,6 +4,7 @@ use taichi_dp::DpServiceConfig;
 use taichi_hw::accel::AcceleratorConfig;
 use taichi_hw::SmartNicSpec;
 use taichi_os::KernelConfig;
+use taichi_sim::trace::TraceConfig;
 use taichi_sim::SimDuration;
 use taichi_virt::{Type2Model, VirtCosts};
 
@@ -79,6 +80,9 @@ pub struct MachineConfig {
     pub vdp_exec_tax: f64,
     /// RNG seed — identical seeds give bit-identical runs.
     pub seed: u64,
+    /// Scheduler trace layer (off by default; enabling it never
+    /// perturbs the simulated schedule, only records it).
+    pub trace: TraceConfig,
 }
 
 impl Default for MachineConfig {
@@ -92,6 +96,7 @@ impl Default for MachineConfig {
             type2: Type2Model::default(),
             vdp_exec_tax: 1.08,
             seed: 0xD1CE,
+            trace: TraceConfig::default(),
         }
     }
 }

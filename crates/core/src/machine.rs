@@ -35,11 +35,10 @@ use crate::vcpu_sched::VcpuScheduler;
 
 use taichi_cp::{TaskFactory, VmCreateRequest, VmStartupTracker};
 use taichi_dp::{DpService, TrafficGen};
-use taichi_hw::{
-    Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, Packet,
-};
+use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, Packet};
 use taichi_os::{CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
-use taichi_sim::{EventQueue, Rng, SimDuration, SimTime};
+use taichi_sim::trace::FailureDump;
+use taichi_sim::{EventQueue, Rng, SimDuration, SimTime, TraceKind, Tracer};
 use taichi_virt::{VcpuState, VmExitReason};
 
 use std::collections::HashMap;
@@ -95,16 +94,39 @@ impl std::fmt::Display for Mode {
 
 #[derive(Debug)]
 enum Event {
-    NextArrival { gen: usize },
-    Delivered { packet: Packet },
-    ProbeIrq { host: CpuId },
-    DpIdle { host: CpuId, gen: u64 },
-    VcpuEntered { idx: usize },
-    VcpuSliceExpire { idx: usize, gen: u64 },
-    VcpuExited { idx: usize },
-    KernelDecide { cpu: CpuId, gen: u64 },
-    KernelWake { tid: ThreadId },
-    DpBurstDone { si: usize },
+    NextArrival {
+        gen: usize,
+    },
+    Delivered {
+        packet: Packet,
+    },
+    ProbeIrq {
+        host: CpuId,
+    },
+    DpIdle {
+        host: CpuId,
+        gen: u64,
+    },
+    VcpuEntered {
+        idx: usize,
+    },
+    VcpuSliceExpire {
+        idx: usize,
+        gen: u64,
+    },
+    VcpuExited {
+        idx: usize,
+    },
+    KernelDecide {
+        cpu: CpuId,
+        gen: u64,
+    },
+    KernelWake {
+        tid: ThreadId,
+    },
+    DpBurstDone {
+        si: usize,
+    },
     VmCreate {
         request: VmCreateRequest,
         programs: Vec<Program>,
@@ -169,6 +191,19 @@ pub struct Machine {
     util_interval: Option<SimDuration>,
 
     posted_interrupts: u64,
+
+    tracer: Option<Tracer>,
+}
+
+/// Raw VM-exit reason name for the trace.
+fn exit_reason_name(reason: VmExitReason) -> &'static str {
+    match reason {
+        VmExitReason::SliceExpired => "slice_expired",
+        VmExitReason::HwProbe => "hw_probe",
+        VmExitReason::IpiSend => "ipi_send",
+        VmExitReason::GuestHalt => "guest_halt",
+        VmExitReason::Forced => "forced",
+    }
 }
 
 impl Machine {
@@ -227,6 +262,19 @@ impl Machine {
             hw_probe.set_enabled(false);
         }
 
+        // Tracing is on when configured explicitly or when the
+        // `TAICHI_TRACE` dump path is set (so a plain
+        // `TAICHI_TRACE=/tmp/t.tsv cargo test` captures failing
+        // schedules without code changes). The tracer only records the
+        // schedule; it never influences it.
+        let trace_on = cfg.trace.enabled || std::env::var_os("TAICHI_TRACE").is_some();
+        let tracer = trace_on.then(|| Tracer::new(cfg.trace.capacity));
+        let mut accel = Accelerator::new(cfg.accel.clone());
+        if let Some(t) = &tracer {
+            kernel.set_tracer(t.clone());
+            accel.set_tracer(t.clone());
+        }
+
         let yield_ctl = AdaptiveYield::new(
             spec.num_cpus,
             cfg.taichi.initial_yield_threshold,
@@ -241,12 +289,9 @@ impl Machine {
 
         let n_v = vcpu_ids.len();
         Machine {
-            accel: Accelerator::new(cfg.accel.clone()),
+            accel,
             hw_probe,
-            apic: ApicFabric::new(
-                spec.num_cpus + num_vcpus,
-                SimDuration::from_nanos(300),
-            ),
+            apic: ApicFabric::new(spec.num_cpus + num_vcpus, SimDuration::from_nanos(300)),
             kernel,
             orchestrator,
             vsched,
@@ -276,6 +321,7 @@ impl Machine {
             util_samples: Vec::new(),
             util_interval: None,
             posted_interrupts: 0,
+            tracer,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             rng,
@@ -400,6 +446,9 @@ impl Machine {
             }
             let (at, ev) = self.queue.pop().expect("peeked non-empty");
             self.now = at;
+            if let Some(t) = &self.tracer {
+                t.set_time(at);
+            }
             self.handle(ev);
         }
         self.now = t.max(self.now);
@@ -520,6 +569,7 @@ impl Machine {
 
     fn on_delivered(&mut self, packet: Packet) {
         let host = packet.dest_cpu;
+        self.trace(host, TraceKind::AccelTransferDone { pkt: packet.id.0 });
         let Some(si) = self.dp_index(host) else {
             return; // CPU lost to emulation in type-2: no service
         };
@@ -540,9 +590,11 @@ impl Machine {
             if let Some(idx) = self.vsched.occupant(host) {
                 match self.vsched.vcpu(idx).state() {
                     VcpuState::Running { .. } => {
+                        self.trace(host, TraceKind::ProbeRecheck);
                         self.begin_vcpu_exit(idx, VmExitReason::HwProbe);
                     }
                     VcpuState::Entering { .. } => {
+                        self.trace(host, TraceKind::ProbeRecheck);
                         self.pending_preempt[idx] = true;
                     }
                     _ => {}
@@ -558,7 +610,9 @@ impl Machine {
     /// per-core capacity bounds throughput: under overload the ring
     /// backs up and drops, exactly like a saturated PMD.
     fn start_processing(&mut self, host: CpuId) {
-        let Some(si) = self.dp_index(host) else { return };
+        let Some(si) = self.dp_index(host) else {
+            return;
+        };
         if self.dp_busy[si] || !self.vsched.host_free(host) {
             return;
         }
@@ -587,7 +641,9 @@ impl Machine {
         if !self.mode.has_taichi() {
             return;
         }
-        let Some(si) = self.dp_index(host) else { return };
+        let Some(si) = self.dp_index(host) else {
+            return;
+        };
         if !self.vsched.host_free(host) {
             return;
         }
@@ -602,13 +658,13 @@ impl Machine {
     }
 
     fn on_dp_idle(&mut self, host: CpuId, gen: u64) {
-        let Some(si) = self.dp_index(host) else { return };
+        let Some(si) = self.dp_index(host) else {
+            return;
+        };
         if self.dp_idle_gen[si] != gen {
             return; // superseded by later activity
         }
-        if self.dp_busy[si]
-            || !self.vsched.host_free(host)
-            || !self.services[si].is_idle(self.now)
+        if self.dp_busy[si] || !self.vsched.host_free(host) || !self.services[si].is_idle(self.now)
         {
             return;
         }
@@ -617,6 +673,12 @@ impl Machine {
             // this CPU — yielding now would be a guaranteed false
             // positive. Their delivery re-arms the idle probe.
             self.yield_vetoes += 1;
+            self.trace(
+                host,
+                TraceKind::YieldVeto {
+                    inflight: self.dp_inflight[si],
+                },
+            );
             return;
         }
         let kernel = &self.kernel;
@@ -629,12 +691,14 @@ impl Machine {
             None => {
                 // Nothing runnable: stay armed so a CP kick can use
                 // this already-idle core immediately.
+                self.trace(host, TraceKind::YieldNoRunnable);
                 self.yield_armed[si] = true;
             }
         }
     }
 
     fn place_vcpu(&mut self, idx: usize, host: CpuId) {
+        self.trace(host, TraceKind::YieldGrant { vcpu: idx as u32 });
         if let Some(si) = self.dp_index(host) {
             self.yield_armed[si] = false;
         } else {
@@ -661,9 +725,12 @@ impl Machine {
 
     fn on_vcpu_entered(&mut self, idx: usize) {
         let host = self.grant_host[idx].expect("entered vCPU has a host");
+        self.trace(host, TraceKind::VmEnter { vcpu: idx as u32 });
         let slice = self.slice_ctl.slice(host);
         let slice_end = self.now + slice;
-        self.vsched.vcpu_mut(idx).enter_complete(self.now, slice_end);
+        self.vsched
+            .vcpu_mut(idx)
+            .enter_complete(self.now, slice_end);
         let vid = self.orchestrator.vcpu_cpu_id(idx);
         let acts = self.kernel.resume_cpu(vid, self.now);
         self.apply_kernel_actions(acts);
@@ -694,13 +761,22 @@ impl Machine {
     }
 
     fn begin_vcpu_exit(&mut self, idx: usize, reason: VmExitReason) {
+        if let Some(host) = self.grant_host[idx] {
+            self.trace(
+                host,
+                TraceKind::VmExit {
+                    vcpu: idx as u32,
+                    reason: exit_reason_name(reason),
+                },
+            );
+        }
         let vid = self.orchestrator.vcpu_cpu_id(idx);
         let acts = self.kernel.pause_cpu(vid, self.now);
         self.apply_kernel_actions(acts);
         self.vsched.vcpu_mut(idx).begin_exit(reason, self.now);
         self.vcpu_gen[idx] += 1; // invalidate any pending slice timer
-        // Full switch latency (VM-exit + pCPU context restore): the
-        // 2 µs the hardware probe hides inside the I/O window.
+                                 // Full switch latency (VM-exit + pCPU context restore): the
+                                 // 2 µs the hardware probe hides inside the I/O window.
         let done = self.now + self.cfg.taichi.costs.switch_latency();
         self.queue.schedule(done, Event::VcpuExited { idx });
     }
@@ -724,8 +800,28 @@ impl Machine {
         } else {
             reason
         };
+        let slice_before = self.slice_ctl.slice(host);
+        let threshold_before = self.yield_ctl.threshold(host);
         self.slice_ctl.on_vm_exit(host, effective);
         self.yield_ctl.on_vm_exit(host, effective);
+        let slice_after = self.slice_ctl.slice(host);
+        if slice_after != slice_before {
+            self.trace(
+                host,
+                TraceKind::SliceAdapt {
+                    ns: slice_after.as_nanos(),
+                },
+            );
+        }
+        let threshold_after = self.yield_ctl.threshold(host);
+        if threshold_after != threshold_before {
+            self.trace(
+                host,
+                TraceKind::ThresholdAdapt {
+                    polls: threshold_after as u64,
+                },
+            );
+        }
 
         if self.dp_index(host).is_some() {
             let now = self.now;
@@ -763,6 +859,7 @@ impl Machine {
                 .collect();
             if let Some(h) = self.vsched.pick_reschedule_host(&idle_dp, &cp_hosts) {
                 if self.vsched.host_free(h) {
+                    self.trace(h, TraceKind::LockReschedule { vcpu: idx as u32 });
                     self.place_vcpu(idx, h);
                 }
             }
@@ -770,6 +867,7 @@ impl Machine {
     }
 
     fn on_probe_irq(&mut self, host: CpuId) {
+        self.trace(host, TraceKind::ProbeIrq);
         let Some(idx) = self.vsched.occupant(host) else {
             return; // stale: the vCPU already left
         };
@@ -829,6 +927,12 @@ impl Machine {
                     let decision = self
                         .orchestrator
                         .route(msg, |i| !vsched.vcpu(i).is_descheduled());
+                    let route = match &decision {
+                        RouteDecision::Direct => "direct",
+                        RouteDecision::Posted { .. } => "posted",
+                        RouteDecision::WakeAndInject { .. } => "wake",
+                    };
+                    self.trace(src, TraceKind::IpiRoute { dst: dst.0, route });
                     match decision {
                         RouteDecision::Direct => {
                             self.apic.deliver(dst, vector);
@@ -904,6 +1008,30 @@ impl Machine {
 
     fn dp_index(&self, cpu: CpuId) -> Option<usize> {
         self.dp_cpu_ids.iter().position(|&c| c == cpu)
+    }
+
+    fn trace(&self, cpu: CpuId, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.emit_at(self.now, cpu.0, kind);
+        }
+    }
+
+    /// The scheduler tracer, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Renders the scheduler trace as TSV (`None` when tracing is
+    /// disabled). See [`taichi_sim::trace`] for the format.
+    pub fn trace_tsv(&self) -> Option<String> {
+        self.tracer.as_ref().map(|t| t.to_tsv())
+    }
+
+    /// Arms a dump-on-panic guard: if the calling test fails while the
+    /// guard is live, the trace TSV is written to `$TAICHI_TRACE`.
+    /// `None` when tracing is disabled.
+    pub fn failure_dump(&self, label: &str) -> Option<FailureDump> {
+        self.tracer.as_ref().map(|t| FailureDump::new(t, label))
     }
 
     /// The DP services (one per DP CPU).

@@ -76,12 +76,7 @@ impl IpiOrchestrator {
     ///
     /// Returns the kernel CPU IDs assigned to the vCPUs, in vCPU-index
     /// order.
-    pub fn register_vcpus(
-        &mut self,
-        kernel: &mut Kernel,
-        count: u32,
-        now: SimTime,
-    ) -> Vec<CpuId> {
+    pub fn register_vcpus(&mut self, kernel: &mut Kernel, count: u32, now: SimTime) -> Vec<CpuId> {
         let mut ids = Vec::with_capacity(count as usize);
         for i in 0..count {
             let id = CpuId(self.first_vcpu + i);
@@ -182,10 +177,7 @@ mod tests {
         let ids = o.register_vcpus(&mut k, 4, SimTime::ZERO);
         assert_eq!(ids, (12..16).map(CpuId).collect::<Vec<_>>());
         for id in &ids {
-            assert_eq!(
-                k.cpu_phase(*id),
-                Some(taichi_os::kernel::CpuPhase::Online)
-            );
+            assert_eq!(k.cpu_phase(*id), Some(taichi_os::kernel::CpuPhase::Online));
         }
         assert_eq!(o.vcpu_cpu_id(0), CpuId(12));
         assert_eq!(o.vcpu_index(CpuId(13)), Some(1));
@@ -267,9 +259,6 @@ mod tests {
         k.resume_cpu(vid, SimTime::from_micros(10));
         let next = k.next_decision_time(vid, SimTime::from_micros(10)).unwrap();
         k.decide(vid, next);
-        assert_eq!(
-            k.thread_info(tid).state,
-            taichi_os::ThreadState::Finished
-        );
+        assert_eq!(k.thread_info(tid).state, taichi_os::ThreadState::Finished);
     }
 }

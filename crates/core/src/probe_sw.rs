@@ -34,7 +34,10 @@ impl AdaptiveYield {
     ///
     /// Panics when `min > max` or `min == 0`.
     pub fn new(num_cpus: u32, initial: u32, min: u32, max: u32) -> Self {
-        assert!(min > 0 && min <= max, "invalid threshold bounds [{min},{max}]");
+        assert!(
+            min > 0 && min <= max,
+            "invalid threshold bounds [{min},{max}]"
+        );
         AdaptiveYield {
             thresholds: vec![initial.clamp(min, max); num_cpus as usize],
             min,
@@ -47,7 +50,10 @@ impl AdaptiveYield {
     /// Current threshold for `cpu` (the max bound for unknown CPUs,
     /// i.e. effectively never yield).
     pub fn threshold(&self, cpu: CpuId) -> u32 {
-        self.thresholds.get(cpu.index()).copied().unwrap_or(self.max)
+        self.thresholds
+            .get(cpu.index())
+            .copied()
+            .unwrap_or(self.max)
     }
 
     /// Feeds back a VM-exit that ended a grant on `cpu`.

@@ -39,7 +39,10 @@ impl AdaptiveSlice {
 
     /// Slice to use for the next grant on `cpu`.
     pub fn slice(&self, cpu: CpuId) -> SimDuration {
-        self.slices.get(cpu.index()).copied().unwrap_or(self.initial)
+        self.slices
+            .get(cpu.index())
+            .copied()
+            .unwrap_or(self.initial)
     }
 
     /// Feeds back a VM-exit that ended a grant on `cpu`.

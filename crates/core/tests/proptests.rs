@@ -1,39 +1,34 @@
-//! Property-based tests at the whole-machine level: for arbitrary
-//! (bounded) traffic shapes and CP workloads, the machine must
-//! preserve its safety invariants in every mode.
+//! Randomized property tests at the whole-machine level: for arbitrary
+//! (bounded) traffic shapes and CP workloads, the machine must preserve
+//! its safety invariants in every mode. Driven by the in-repo
+//! deterministic harness ([`taichi_sim::check`]).
 
-use proptest::prelude::*;
 use taichi_core::machine::{Machine, Mode};
 use taichi_core::metrics::RunReport;
 use taichi_core::MachineConfig;
 use taichi_dp::{ArrivalPattern, TrafficGen};
 use taichi_hw::{CpuId, IoKind};
 use taichi_os::Program;
-use taichi_sim::{Dist, SimDuration, SimTime};
+use taichi_sim::check::run_cases;
+use taichi_sim::{Dist, Rng, SimDuration, SimTime};
 
-fn mode_strategy() -> impl Strategy<Value = Mode> {
-    prop_oneof![
-        Just(Mode::Baseline),
-        Just(Mode::TaiChi),
-        Just(Mode::TaiChiNoHwProbe),
-        Just(Mode::TaiChiVdp),
-        Just(Mode::Type2),
-    ]
+fn random_mode(rng: &mut Rng) -> Mode {
+    *rng.pick(&Mode::all()).expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Packet conservation: everything submitted is processed, dropped,
-    /// or still in flight at the horizon — in every mode, for any load.
-    #[test]
-    fn packet_conservation(
-        mode in mode_strategy(),
-        seed in any::<u64>(),
-        util_pct in 5u32..160,
-        bursty in any::<bool>(),
-    ) {
-        let cfg = MachineConfig { seed, ..MachineConfig::default() };
+/// Packet conservation: everything submitted is processed, dropped, or
+/// still in flight at the horizon — in every mode, for any load.
+#[test]
+fn packet_conservation() {
+    run_cases("packet_conservation", 24, |_, rng| {
+        let mode = random_mode(rng);
+        let seed = rng.next_u64();
+        let util_pct = rng.gen_range(5, 160) as u32;
+        let bursty = rng.chance(0.5);
+        let cfg = MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        };
         let mut m = Machine::new(cfg, mode);
         let dp = m.services().len() as u32;
         let gap = 1.5 / (util_pct as f64 / 100.0) / 8.0;
@@ -44,7 +39,9 @@ proptest! {
                 burst_gap_us: Dist::exponential(gap * 0.4),
             }
         } else {
-            ArrivalPattern::OpenLoop { gap_us: Dist::exponential(gap) }
+            ArrivalPattern::OpenLoop {
+                gap_us: Dist::exponential(gap),
+            }
         };
         m.add_traffic(TrafficGen::new(
             pattern,
@@ -73,32 +70,37 @@ proptest! {
             queued += s.pending() as u64;
         }
         // Everything that entered a ring is accounted for.
-        prop_assert_eq!(
+        assert_eq!(
             processed + queued,
-            m.services().iter().map(|s| {
-                s.processed() + s.pending() as u64
-            }).sum::<u64>()
+            m.services()
+                .iter()
+                .map(|s| { s.processed() + s.pending() as u64 })
+                .sum::<u64>()
         );
         // Drops only under meaningful overload.
         if util_pct < 80 {
-            prop_assert_eq!(dropped, 0, "{}: dropped below saturation", mode);
+            assert_eq!(dropped, 0, "{mode}: dropped below saturation");
         }
         // Latency recorder self-consistency.
         let r = RunReport::collect(&m);
-        prop_assert_eq!(r.dp.packets(), processed);
+        assert_eq!(r.dp.packets(), processed);
         if processed > 0 {
-            prop_assert!(r.dp.total_latency().min() >= 3_200, "hardware floor");
+            assert!(r.dp.total_latency().min() >= 3_200, "hardware floor");
         }
-    }
+    });
+}
 
-    /// Scheduler bookkeeping: yields and exits stay consistent, and
-    /// every vCPU that is descheduled at the horizon has no host.
-    #[test]
-    fn vcpu_bookkeeping_consistent(
-        seed in any::<u64>(),
-        duty_pct in 10u32..60,
-    ) {
-        let cfg = MachineConfig { seed, ..MachineConfig::default() };
+/// Scheduler bookkeeping: yields and exits stay consistent, and every
+/// vCPU that is descheduled at the horizon has no host.
+#[test]
+fn vcpu_bookkeeping_consistent() {
+    run_cases("vcpu_bookkeeping_consistent", 24, |_, rng| {
+        let seed = rng.next_u64();
+        let duty_pct = rng.gen_range(10, 60) as u32;
+        let cfg = MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        };
         let mut m = Machine::new(cfg, Mode::TaiChi);
         let duty = duty_pct as f64 / 100.0;
         m.add_traffic(TrafficGen::new(
@@ -123,17 +125,17 @@ proptest! {
         for v in m.vsched().vcpus() {
             entries += v.entries();
             exits += v.exits().total();
-            // entries == exits for descheduled vCPUs; at most one
-            // grant can be in flight per vCPU.
-            prop_assert!(v.entries() >= v.exits().total());
-            prop_assert!(v.entries() - v.exits().total() <= 1);
+            // entries == exits for descheduled vCPUs; at most one grant
+            // can be in flight per vCPU.
+            assert!(v.entries() >= v.exits().total());
+            assert!(v.entries() - v.exits().total() <= 1);
             if v.is_descheduled() {
-                prop_assert!(v.host().is_none());
+                assert!(v.host().is_none());
             }
         }
         // Yields equal placements; each placement leads to at most one
         // entry (a pending-preempt can exit before entering completes).
-        prop_assert!(entries <= m.vsched().total_yields());
-        prop_assert!(exits <= entries);
-    }
+        assert!(entries <= m.vsched().total_yields());
+        assert!(exits <= entries);
+    });
 }

@@ -40,11 +40,7 @@ pub fn fig5_routine_ms() -> Dist {
 /// approximated piecewise).
 pub fn mixed_routine_ms(long_tail_fraction: f64) -> Dist {
     let short = Dist::Empirical {
-        buckets: vec![
-            (0.01, 0.05, 40.0),
-            (0.05, 0.2, 35.0),
-            (0.2, 1.0, 25.0),
-        ],
+        buckets: vec![(0.01, 0.05, 40.0), (0.05, 0.2, 35.0), (0.2, 1.0, 25.0)],
     };
     Dist::Mixture {
         parts: vec![

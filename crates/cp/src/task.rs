@@ -124,9 +124,7 @@ impl TaskFactory {
     pub fn build(&self, kind: CpTaskKind, rng: &mut Rng) -> Program {
         match kind {
             CpTaskKind::DeviceManagement => self.device_init(locks::NIC_DRIVER, 3, rng),
-            CpTaskKind::Monitoring => {
-                self.monitoring(5, SimDuration::from_millis(10), rng)
-            }
+            CpTaskKind::Monitoring => self.monitoring(5, SimDuration::from_millis(10), rng),
             CpTaskKind::Orchestration => self.orchestration(rng),
         }
     }

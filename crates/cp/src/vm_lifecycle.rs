@@ -138,7 +138,10 @@ mod tests {
         let r4 = VmCreateRequest::at_density(2, 4, SimTime::ZERO);
         assert_eq!(r4.device_count(), 20);
         // Zero density clamps to 1.
-        assert_eq!(VmCreateRequest::at_density(3, 0, SimTime::ZERO).device_count(), 5);
+        assert_eq!(
+            VmCreateRequest::at_density(3, 0, SimTime::ZERO).device_count(),
+            5
+        );
     }
 
     #[test]
@@ -166,10 +169,7 @@ mod tests {
         }
         assert!(tr.devices_ready());
         // issued at 10 ms, last device at 60 ms, qemu 120 ms → 170 ms.
-        assert_eq!(
-            tr.startup_time().unwrap(),
-            SimDuration::from_millis(170)
-        );
+        assert_eq!(tr.startup_time().unwrap(), SimDuration::from_millis(170));
     }
 
     #[test]

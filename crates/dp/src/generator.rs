@@ -224,9 +224,7 @@ impl TrafficGen {
                 };
                 let size = size_bytes.sample(rng).round().max(1.0) as u32;
                 let dest = match spray {
-                    Spray::Random => {
-                        targets[rng.next_below(targets.len() as u64) as usize]
-                    }
+                    Spray::Random => targets[rng.next_below(targets.len() as u64) as usize],
                     Spray::RoundRobin => {
                         let d = targets[*next_target % targets.len()];
                         *next_target += 1;
@@ -287,8 +285,7 @@ impl TrafficGen {
                 if profile.is_empty() || slot.is_zero() {
                     return base;
                 }
-                let idx = (clock.as_nanos() / slot.as_nanos().max(1)) as usize
-                    % profile.len();
+                let idx = (clock.as_nanos() / slot.as_nanos().max(1)) as usize % profile.len();
                 let rate = profile[idx].max(1e-6);
                 SimDuration::from_nanos((base.as_nanos() as f64 / rate).round() as u64)
             }
@@ -427,10 +424,7 @@ mod tests {
             }
             counts[(t / 10_000_000) as usize] += 1;
         }
-        assert!(
-            counts[1] > counts[0] * 3,
-            "modulation missing: {counts:?}"
-        );
+        assert!(counts[1] > counts[0] * 3, "modulation missing: {counts:?}");
     }
 
     #[test]
@@ -454,8 +448,16 @@ mod replay_tests {
 
     fn trace() -> Trace {
         Trace::new(vec![
-            TraceRecord { at_ns: 100, dest_cpu: 2, size_bytes: 64 },
-            TraceRecord { at_ns: 300, dest_cpu: 5, size_bytes: 1500 },
+            TraceRecord {
+                at_ns: 100,
+                dest_cpu: 2,
+                size_bytes: 64,
+            },
+            TraceRecord {
+                at_ns: 300,
+                dest_cpu: 5,
+                size_bytes: 1500,
+            },
         ])
     }
 
@@ -477,7 +479,9 @@ mod replay_tests {
     fn replay_loops_with_offset() {
         let mut g = trace().replayer(IoKind::Network);
         let mut rng = Rng::new(1);
-        let times: Vec<u64> = (0..6).map(|_| g.next_packet(&mut rng).submitted_at.as_nanos()).collect();
+        let times: Vec<u64> = (0..6)
+            .map(|_| g.next_packet(&mut rng).submitted_at.as_nanos())
+            .collect();
         // wrap gap = 300/2 = 150; second loop offset 450, third 900.
         assert_eq!(times, vec![100, 300, 550, 750, 1000, 1200]);
     }
@@ -502,13 +506,19 @@ mod replay_tests {
         // Capture a synthetic trace, then verify the replayer emits the
         // identical packet sequence the capture saw.
         let mut synth = TrafficGen::new(
-            ArrivalPattern::OpenLoop { gap_us: Dist::exponential(5.0) },
+            ArrivalPattern::OpenLoop {
+                gap_us: Dist::exponential(5.0),
+            },
             Dist::uniform(64.0, 1500.0),
             IoKind::Network,
             (0..8).map(CpuId).collect(),
         );
         let mut rng = Rng::new(77);
-        let t = Trace::capture(&mut synth, &mut rng, taichi_sim::SimDuration::from_millis(1));
+        let t = Trace::capture(
+            &mut synth,
+            &mut rng,
+            taichi_sim::SimDuration::from_millis(1),
+        );
         assert!(t.len() > 100);
         let mut replay = t.replayer(IoKind::Network);
         let mut dummy = Rng::new(0);

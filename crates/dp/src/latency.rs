@@ -36,7 +36,9 @@ impl LatencyRecorder {
         }
         self.packets += 1;
         self.bytes += packet.size_bytes as u64;
-        let done = packet.completed_at.expect("total_latency implies completed");
+        let done = packet
+            .completed_at
+            .expect("total_latency implies completed");
         if self.first_completion.is_none() {
             self.first_completion = Some(done);
         }
@@ -136,14 +138,7 @@ mod tests {
     #[test]
     fn incomplete_packet_ignored() {
         let mut r = LatencyRecorder::new();
-        let p = Packet::new(
-            PacketId(1),
-            IoKind::Storage,
-            64,
-            CpuId(0),
-            0,
-            SimTime::ZERO,
-        );
+        let p = Packet::new(PacketId(1), IoKind::Storage, 64, CpuId(0), 0, SimTime::ZERO);
         r.record(&p);
         assert_eq!(r.packets(), 0);
     }

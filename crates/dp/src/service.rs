@@ -185,14 +185,21 @@ impl DpService {
         if !self.queue.is_empty() {
             return None;
         }
-        Some(since + self.config.poll_iteration.saturating_mul(threshold as u64 + 1))
+        Some(
+            since
+                + self
+                    .config
+                    .poll_iteration
+                    .saturating_mul(threshold as u64 + 1),
+        )
     }
 
     /// Consecutive empty polls accumulated by `now` (analytic).
     pub fn empty_polls(&self, now: SimTime) -> u64 {
         match self.empty_since {
             Some(since) if self.queue.is_empty() && now > since => {
-                now.saturating_since(since).as_nanos() / self.config.poll_iteration.as_nanos().max(1)
+                now.saturating_since(since).as_nanos()
+                    / self.config.poll_iteration.as_nanos().max(1)
             }
             _ => 0,
         }
@@ -264,7 +271,12 @@ mod tests {
             SimTime::from_micros(at_us.saturating_sub(4)),
         );
         let deliver = SimTime::from_micros(at_us);
-        p.preprocessed_at = Some(deliver - deliver.saturating_since(SimTime::ZERO).min(SimDuration::from_nanos(500)));
+        p.preprocessed_at = Some(
+            deliver
+                - deliver
+                    .saturating_since(SimTime::ZERO)
+                    .min(SimDuration::from_nanos(500)),
+        );
         p.delivered_at = Some(deliver);
         p
     }

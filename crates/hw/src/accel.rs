@@ -14,7 +14,7 @@
 use crate::cpu::CpuId;
 use crate::packet::Packet;
 use crate::probe::HwWorkloadProbe;
-use taichi_sim::{Counter, SimDuration, SimTime};
+use taichi_sim::{Counter, SimDuration, SimTime, TraceKind, Tracer};
 
 /// Timing configuration for the accelerator.
 #[derive(Clone, Debug)]
@@ -79,6 +79,7 @@ pub struct Accelerator {
     channel_free: Vec<SimTime>,
     ingested: Counter,
     bytes: Counter,
+    tracer: Option<Tracer>,
 }
 
 impl Accelerator {
@@ -90,7 +91,14 @@ impl Accelerator {
             channel_free: vec![SimTime::ZERO; channels],
             ingested: Counter::new(),
             bytes: Counter::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a scheduler tracer (stage ② start and V-state checks
+    /// are recorded).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Returns the configuration.
@@ -133,6 +141,20 @@ impl Accelerator {
 
         self.ingested.inc();
         self.bytes.add(packet.size_bytes as u64);
+
+        if let Some(t) = &self.tracer {
+            let cpu = packet.dest_cpu.0;
+            let pkt = packet.id.0;
+            t.emit_at(start, cpu, TraceKind::AccelPreprocess { pkt });
+            t.emit_at(
+                start,
+                cpu,
+                TraceKind::AccelVCheck {
+                    pkt,
+                    vstate: probe_irq.is_some(),
+                },
+            );
+        }
 
         PipelineOutput {
             probe_irq,
@@ -197,10 +219,7 @@ mod tests {
         let out = acc.ingest(&mut p, SimTime::from_micros(1), &mut probe);
         assert_eq!(out.probe_irq, Some(CpuId(2)));
         // IRQ precedes delivery by the full window.
-        assert_eq!(
-            out.delivered_at - out.irq_at,
-            acc.config().window()
-        );
+        assert_eq!(out.delivered_at - out.irq_at, acc.config().window());
     }
 
     #[test]

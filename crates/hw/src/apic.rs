@@ -217,7 +217,10 @@ mod tests {
         f.deliver(CpuId(0), IrqVector::RESCHEDULE);
         f.deliver(CpuId(0), IrqVector::TAICHI_KICK);
         let released = f.unmask(CpuId(0));
-        assert_eq!(released, vec![IrqVector::TAICHI_KICK, IrqVector::RESCHEDULE]);
+        assert_eq!(
+            released,
+            vec![IrqVector::TAICHI_KICK, IrqVector::RESCHEDULE]
+        );
     }
 
     #[test]

@@ -109,10 +109,7 @@ mod tests {
         let d1 = l.transfer(4096, t);
         let d2 = l.transfer(4096, t);
         assert!(d2 > d1);
-        assert_eq!(
-            (d2 - d1).as_nanos(),
-            l.serialization(4096).as_nanos()
-        );
+        assert_eq!((d2 - d1).as_nanos(), l.serialization(4096).as_nanos());
         assert_eq!(l.total_transactions(), 2);
         assert_eq!(l.total_bytes(), 8192);
     }

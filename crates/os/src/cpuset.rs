@@ -27,15 +27,6 @@ impl CpuSet {
         s
     }
 
-    /// Creates a set from an iterator of CPUs.
-    pub fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> Self {
-        let mut s = CpuSet::EMPTY;
-        for c in iter {
-            s.insert(c);
-        }
-        s
-    }
-
     /// Creates a set covering a contiguous ID range `[lo, hi)`.
     pub fn range(lo: u32, hi: u32) -> Self {
         CpuSet::from_iter((lo..hi).map(CpuId))
@@ -47,7 +38,11 @@ impl CpuSet {
     ///
     /// Panics if the CPU ID exceeds [`CpuSet::MAX_CPU`].
     pub fn insert(&mut self, cpu: CpuId) {
-        assert!(cpu.0 <= Self::MAX_CPU, "CPU id {} out of CpuSet range", cpu.0);
+        assert!(
+            cpu.0 <= Self::MAX_CPU,
+            "CPU id {} out of CpuSet range",
+            cpu.0
+        );
         self.0 |= 1u128 << cpu.0;
     }
 
@@ -85,7 +80,9 @@ impl CpuSet {
 
     /// Iterates the member CPUs in ascending ID order.
     pub fn iter(&self) -> impl Iterator<Item = CpuId> + '_ {
-        (0..=Self::MAX_CPU).filter(|&i| (self.0 >> i) & 1 == 1).map(CpuId)
+        (0..=Self::MAX_CPU)
+            .filter(|&i| (self.0 >> i) & 1 == 1)
+            .map(CpuId)
     }
 }
 
@@ -106,7 +103,11 @@ impl std::fmt::Debug for CpuSet {
 
 impl FromIterator<CpuId> for CpuSet {
     fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> Self {
-        CpuSet::from_iter(iter)
+        let mut s = CpuSet::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
     }
 }
 

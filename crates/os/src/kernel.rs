@@ -40,7 +40,7 @@ use crate::lock::LockTable;
 use crate::softirq::SoftirqState;
 use crate::thread::{Program, Segment, Thread, ThreadId, ThreadState};
 use taichi_hw::{CpuId, IrqVector};
-use taichi_sim::{SimDuration, SimTime, UtilizationMeter};
+use taichi_sim::{SimDuration, SimTime, TraceKind, Tracer, UtilizationMeter};
 
 use std::collections::VecDeque;
 
@@ -161,6 +161,7 @@ pub struct Kernel {
     softirqs: SoftirqState,
     /// Threads that finished (kept for metrics queries).
     finished: Vec<ThreadId>,
+    tracer: Option<Tracer>,
 }
 
 impl Kernel {
@@ -173,13 +174,14 @@ impl Kernel {
             locks: LockTable::new(),
             softirqs: SoftirqState::new(0),
             finished: Vec::new(),
+            tracer: None,
         };
         for &c in boot_cpus {
-            k.slot_mut(c).replace(Cpu::new(SimTime::ZERO, CpuPhase::Online));
+            k.slot_mut(c)
+                .replace(Cpu::new(SimTime::ZERO, CpuPhase::Online));
         }
-        k.softirqs.ensure_cpus(
-            boot_cpus.iter().map(|c| c.0 + 1).max().unwrap_or(0),
-        );
+        k.softirqs
+            .ensure_cpus(boot_cpus.iter().map(|c| c.0 + 1).max().unwrap_or(0));
         k
     }
 
@@ -226,6 +228,19 @@ impl Kernel {
         &mut self.softirqs
     }
 
+    /// Attaches a scheduler tracer (preemptions, non-preemptible
+    /// sections, and softirq activity are recorded).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.softirqs.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&self, at: SimTime, cpu: CpuId, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.emit_at(at, cpu.0, kind);
+        }
+    }
+
     /// All CPUs the kernel knows about, in ID order.
     pub fn known_cpus(&self) -> Vec<CpuId> {
         self.cpus
@@ -247,10 +262,7 @@ impl Kernel {
     /// Registers a new CPU in the `Offline` phase (vCPU registration,
     /// Fig. 8a step 1).
     pub fn register_cpu(&mut self, cpu: CpuId, now: SimTime) {
-        assert!(
-            self.cpu(cpu).is_none(),
-            "{cpu} already registered"
-        );
+        assert!(self.cpu(cpu).is_none(), "{cpu} already registered");
         self.slot_mut(cpu).replace(Cpu::new(now, CpuPhase::Offline));
         self.softirqs.ensure_cpus(cpu.0 + 1);
     }
@@ -373,7 +385,8 @@ impl Kernel {
 
     /// The thread currently on `cpu`.
     pub fn current_thread(&self, cpu: CpuId) -> Option<ThreadId> {
-        self.cpu(cpu).and_then(|c| c.current.as_ref().map(|r| r.tid))
+        self.cpu(cpu)
+            .and_then(|c| c.current.as_ref().map(|r| r.tid))
     }
 
     // ---------------------------------------------------------------
@@ -525,9 +538,7 @@ impl Kernel {
             // Prefer lower load, then idle-unpaused, then lower ID.
             let better = match &best {
                 None => true,
-                Some((bl, bp, bc)) => {
-                    (key.0, key.1, key.2) < (*bl, *bp, *bc)
-                }
+                Some((bl, bp, bc)) => (key.0, key.1, key.2) < (*bl, *bp, *bc),
             };
             if better {
                 best = Some(key);
@@ -617,8 +628,7 @@ impl Kernel {
                         .map(|s| s.is_non_preemptible())
                         .unwrap_or(false);
                     let slice_end = ctx.slice_start + self.config.timeslice;
-                    let queue_nonempty =
-                        !self.cpu(cpu).map(|c| c.queue.is_empty()).unwrap_or(true);
+                    let queue_nonempty = !self.cpu(cpu).map(|c| c.queue.is_empty()).unwrap_or(true);
                     if !seg_np && queue_nonempty && now >= slice_end {
                         acts.extend(self.preempt_rotate(cpu, now));
                     }
@@ -654,6 +664,9 @@ impl Kernel {
         }
         // Release a lock if the completed segment held one.
         let seg = self.thread(tid).current_segment().cloned();
+        if matches!(seg, Some(Segment::NonPreemptible { .. })) {
+            self.trace(now, cpu, TraceKind::NonPreemptibleLeave { tid: tid.0 });
+        }
         if let Some(Segment::NonPreemptible { lock: Some(l), .. }) = seg {
             if self.thread(tid).holding == Some(l) {
                 self.thread_mut(tid).holding = None;
@@ -697,6 +710,7 @@ impl Kernel {
         let t = self.thread_mut(tid);
         t.holding = Some(lock);
         t.state = ThreadState::Running;
+        self.trace(now, wcpu, TraceKind::NonPreemptibleEnter { tid: tid.0 });
         if let Some(c) = self.cpu_mut(wcpu) {
             if let Some(cur) = c.current.as_mut() {
                 cur.spinning = false;
@@ -755,8 +769,7 @@ impl Kernel {
                 Some(Segment::Yield) => {
                     self.thread_mut(tid).pc += 1;
                     self.sync_remaining(tid);
-                    let queue_nonempty =
-                        !self.cpu(cpu).map(|c| c.queue.is_empty()).unwrap_or(true);
+                    let queue_nonempty = !self.cpu(cpu).map(|c| c.queue.is_empty()).unwrap_or(true);
                     if queue_nonempty {
                         // Requeue and switch.
                         self.thread_mut(tid).state = ThreadState::Ready;
@@ -788,6 +801,7 @@ impl Kernel {
                         }
                         self.thread_mut(tid).holding = Some(l);
                     }
+                    self.trace(now, cpu, TraceKind::NonPreemptibleEnter { tid: tid.0 });
                     self.thread_mut(tid).state = ThreadState::Running;
                     self.set_current(cpu, tid, now, false);
                     acts.push(KernelAction::Rearm { cpu });
@@ -927,6 +941,7 @@ impl Kernel {
         let Some(ctx) = self.cpu(cpu).and_then(|c| c.current.clone()) else {
             return Vec::new();
         };
+        self.trace(now, cpu, TraceKind::Preempt { tid: ctx.tid.0 });
         self.charge_progress(cpu, &ctx, now);
         self.thread_mut(ctx.tid).state = ThreadState::Ready;
         self.clear_current(cpu, now);
@@ -1055,7 +1070,11 @@ mod tests {
     fn threads_spread_across_cpus() {
         let mut k = boot(4);
         let p = Program::new().compute(SimDuration::from_millis(5));
-        spawn_and_drive(&mut k, vec![p.clone(), p.clone(), p.clone(), p], SimTime::from_secs(1));
+        spawn_and_drive(
+            &mut k,
+            vec![p.clone(), p.clone(), p.clone(), p],
+            SimTime::from_secs(1),
+        );
         assert_eq!(k.finished_count(), 4);
         // With 4 CPUs, all should finish around 5 ms (parallel), not 20.
         for i in 0..4u64 {
@@ -1196,10 +1215,7 @@ mod tests {
         let next = k
             .next_decision_time(CpuId(0), SimTime::from_millis(10))
             .unwrap();
-        assert_eq!(
-            next.as_nanos(),
-            10_000_000 + (8_000_000 + 2_000)
-        );
+        assert_eq!(next.as_nanos(), 10_000_000 + (8_000_000 + 2_000));
     }
 
     #[test]
@@ -1240,11 +1256,7 @@ mod tests {
         // Pin nothing: 3 threads, 2 CPUs. The third should be stolen
         // when a CPU frees up... spawn all at once on both CPUs.
         let p = Program::new().compute(SimDuration::from_millis(2));
-        spawn_and_drive(
-            &mut k,
-            vec![p.clone(), p.clone(), p],
-            SimTime::from_secs(1),
-        );
+        spawn_and_drive(&mut k, vec![p.clone(), p.clone(), p], SimTime::from_secs(1));
         assert_eq!(k.finished_count(), 3);
         // Total makespan ≈ 4 ms (2+2 on one CPU, 2 on the other), not 6.
         let last = (0..3u64)

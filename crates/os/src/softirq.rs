@@ -7,7 +7,7 @@
 //! handler execution costs live in the Tai Chi scheduler's cost model.
 
 use taichi_hw::CpuId;
-use taichi_sim::Counter;
+use taichi_sim::{Counter, TraceKind, Tracer};
 
 /// Softirq categories (a subset of Linux's, plus Tai Chi's own).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -20,12 +20,24 @@ pub enum SoftirqKind {
     TaiChiVcpu = 2,
 }
 
+impl SoftirqKind {
+    /// Stable snake_case name (used by the trace layer).
+    pub fn name(self) -> &'static str {
+        match self {
+            SoftirqKind::Timer => "timer",
+            SoftirqKind::NetRx => "net_rx",
+            SoftirqKind::TaiChiVcpu => "taichi_vcpu",
+        }
+    }
+}
+
 /// Per-CPU pending softirq bitmaps.
 #[derive(Clone, Debug)]
 pub struct SoftirqState {
     pending: Vec<u8>,
     raised: Counter,
     handled: Counter,
+    tracer: Option<Tracer>,
 }
 
 impl SoftirqState {
@@ -35,7 +47,14 @@ impl SoftirqState {
             pending: vec![0; num_cpus as usize],
             raised: Counter::new(),
             handled: Counter::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a scheduler tracer (raises and dispatches are
+    /// recorded, stamped with the tracer clock).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Grows to cover newly registered CPUs.
@@ -56,6 +75,9 @@ impl SoftirqState {
         *p |= bit;
         if newly {
             self.raised.inc();
+            if let Some(t) = &self.tracer {
+                t.emit(cpu.0, TraceKind::SoftirqRaise { kind: kind.name() });
+            }
         }
         newly
     }
@@ -70,7 +92,10 @@ impl SoftirqState {
 
     /// True when any softirq is pending on `cpu`.
     pub fn any_pending(&self, cpu: CpuId) -> bool {
-        self.pending.get(cpu.index()).map(|&p| p != 0).unwrap_or(false)
+        self.pending
+            .get(cpu.index())
+            .map(|&p| p != 0)
+            .unwrap_or(false)
     }
 
     /// Clears and "handles" `kind` on `cpu`; returns whether it was
@@ -83,6 +108,9 @@ impl SoftirqState {
         if *p & bit != 0 {
             *p &= !bit;
             self.handled.inc();
+            if let Some(t) = &self.tracer {
+                t.emit(cpu.0, TraceKind::SoftirqDispatch { kind: kind.name() });
+            }
             true
         } else {
             false

@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn zero_duration_segments() {
         assert_eq!(
-            Segment::Notify { target: ThreadId(1) }.cpu_time(),
+            Segment::Notify {
+                target: ThreadId(1)
+            }
+            .cpu_time(),
             SimDuration::ZERO
         );
         assert_eq!(Segment::Yield.cpu_time(), SimDuration::ZERO);

@@ -1,11 +1,14 @@
-//! Property-based tests for the kernel model: random programs on
+//! Randomized property tests for the kernel model: random programs on
 //! random topologies must always run to completion with exact CPU-time
-//! accounting.
+//! accounting. Driven by the in-repo deterministic harness
+//! ([`taichi_sim::check`]).
 
-use proptest::prelude::*;
 use taichi_hw::CpuId;
-use taichi_os::{CpuSet, Kernel, KernelAction, KernelConfig, LockId, Program, Segment, ThreadId, ThreadState};
-use taichi_sim::{EventQueue, SimDuration, SimTime};
+use taichi_os::{
+    CpuSet, Kernel, KernelAction, KernelConfig, LockId, Program, Segment, ThreadId, ThreadState,
+};
+use taichi_sim::check::run_cases;
+use taichi_sim::{EventQueue, Rng, SimDuration, SimTime};
 
 /// Drives a kernel to quiescence (same pattern as the unit tests, but
 /// over arbitrary generated workloads). `pending` carries actions
@@ -70,42 +73,39 @@ fn drive_with_pulses(
     }
 }
 
-/// A generated program segment (durations in µs, bounded to keep
-/// test horizons small).
-fn segment_strategy() -> impl Strategy<Value = Segment> {
-    prop_oneof![
-        (1u64..500).prop_map(|us| Segment::UserCompute(SimDuration::from_micros(us))),
-        (1u64..300).prop_map(|us| Segment::KernelPreemptible(SimDuration::from_micros(us))),
-        (1u64..800).prop_map(|us| Segment::nonpreemptible(SimDuration::from_micros(us))),
-        (1u64..400, 0u32..3).prop_map(|(us, l)| Segment::locked(
-            SimDuration::from_micros(us),
-            LockId(l)
-        )),
-        (1u64..200).prop_map(|us| Segment::Sleep(SimDuration::from_micros(us))),
-        Just(Segment::Yield),
-    ]
+/// A generated program segment (durations in µs, bounded to keep test
+/// horizons small).
+fn random_segment(rng: &mut Rng) -> Segment {
+    match rng.next_below(6) {
+        0 => Segment::UserCompute(SimDuration::from_micros(rng.gen_range(1, 500))),
+        1 => Segment::KernelPreemptible(SimDuration::from_micros(rng.gen_range(1, 300))),
+        2 => Segment::nonpreemptible(SimDuration::from_micros(rng.gen_range(1, 800))),
+        3 => Segment::locked(
+            SimDuration::from_micros(rng.gen_range(1, 400)),
+            LockId(rng.next_below(3) as u32),
+        ),
+        4 => Segment::Sleep(SimDuration::from_micros(rng.gen_range(1, 200))),
+        _ => Segment::Yield,
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Program> {
-    prop::collection::vec(segment_strategy(), 1..8).prop_map(|segs| {
-        let mut p = Program::new();
-        for s in segs {
-            p = p.then(s);
-        }
-        p
-    })
+fn random_program(rng: &mut Rng) -> Program {
+    let n = rng.gen_range(1, 8);
+    let mut p = Program::new();
+    for _ in 0..n {
+        p = p.then(random_segment(rng));
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every generated workload runs to completion, with CPU time
-    /// exactly equal to the programs' total demand.
-    #[test]
-    fn all_threads_finish_with_exact_accounting(
-        programs in prop::collection::vec(program_strategy(), 1..12),
-        ncpus in 1u32..5,
-    ) {
+/// Every generated workload runs to completion, with CPU time exactly
+/// equal to the programs' total demand.
+#[test]
+fn all_threads_finish_with_exact_accounting() {
+    run_cases("all_threads_finish_with_exact_accounting", 64, |_, rng| {
+        let nprogs = rng.gen_range(1, 12);
+        let programs: Vec<Program> = (0..nprogs).map(|_| random_program(rng)).collect();
+        let ncpus = rng.gen_range(1, 5) as u32;
         let cpus: Vec<CpuId> = (0..ncpus).map(CpuId).collect();
         let mut k = Kernel::new(KernelConfig::default(), &cpus);
         let affinity: CpuSet = cpus.iter().copied().collect();
@@ -122,20 +122,30 @@ proptest! {
         let mut total = SimDuration::ZERO;
         for tid in tids {
             let t = k.thread_info(tid);
-            prop_assert_eq!(t.state, ThreadState::Finished, "{:?} stuck at pc {}", tid, t.pc);
-            prop_assert!(t.holding.is_none(), "finished holding a lock");
+            assert_eq!(
+                t.state,
+                ThreadState::Finished,
+                "{tid:?} stuck at pc {}",
+                t.pc
+            );
+            assert!(t.holding.is_none(), "finished holding a lock");
             total += t.cpu_time;
         }
-        prop_assert_eq!(total, expect, "CPU-time accounting drifted");
-    }
+        assert_eq!(total, expect, "CPU-time accounting drifted");
+    });
+}
 
-    /// Pausing and resuming CPUs at arbitrary instants never loses or
-    /// invents work.
-    #[test]
-    fn pause_resume_preserves_accounting(
-        programs in prop::collection::vec(program_strategy(), 1..6),
-        pauses in prop::collection::vec((0u64..20_000, 1u64..5_000), 1..10),
-    ) {
+/// Pausing and resuming CPUs at arbitrary instants never loses or
+/// invents work.
+#[test]
+fn pause_resume_preserves_accounting() {
+    run_cases("pause_resume_preserves_accounting", 64, |_, rng| {
+        let nprogs = rng.gen_range(1, 6);
+        let programs: Vec<Program> = (0..nprogs).map(|_| random_program(rng)).collect();
+        let npauses = rng.gen_range(1, 10);
+        let pauses: Vec<(u64, u64)> = (0..npauses)
+            .map(|_| (rng.next_below(20_000), rng.gen_range(1, 5_000)))
+            .collect();
         let cpus: Vec<CpuId> = (0..2).map(CpuId).collect();
         let mut k = Kernel::new(KernelConfig::default(), &cpus);
         let affinity: CpuSet = cpus.iter().copied().collect();
@@ -160,16 +170,19 @@ proptest! {
         let mut total = SimDuration::ZERO;
         for tid in tids {
             let t = k.thread_info(tid);
-            prop_assert_eq!(t.state, ThreadState::Finished, "{:?} stuck", tid);
+            assert_eq!(t.state, ThreadState::Finished, "{tid:?} stuck");
             total += t.cpu_time;
         }
-        prop_assert_eq!(total, expect);
-    }
+        assert_eq!(total, expect);
+    });
+}
 
-    /// Turnaround is never less than the program's own CPU demand plus
-    /// its sleeps (causality).
-    #[test]
-    fn turnaround_respects_causality(program in program_strategy()) {
+/// Turnaround is never less than the program's own CPU demand plus its
+/// sleeps (causality).
+#[test]
+fn turnaround_respects_causality() {
+    run_cases("turnaround_respects_causality", 64, |_, rng| {
+        let program = random_program(rng);
         let cpus = [CpuId(0)];
         let mut k = Kernel::new(KernelConfig::default(), &cpus);
         let sleeps: SimDuration = program
@@ -184,17 +197,21 @@ proptest! {
         let (tid, acts) = k.spawn(program, CpuSet::single(CpuId(0)), SimTime::ZERO);
         drive(&mut k, acts, SimTime::from_secs(60));
         let t = k.thread_info(tid);
-        prop_assert_eq!(t.state, ThreadState::Finished);
-        prop_assert!(t.turnaround().expect("finished") >= floor);
-    }
+        assert_eq!(t.state, ThreadState::Finished);
+        assert!(t.turnaround().expect("finished") >= floor);
+    });
+}
 
-    /// CpuSet behaves like a reference set implementation.
-    #[test]
-    fn cpuset_matches_btreeset(ops in prop::collection::vec((0u32..64, any::<bool>()), 0..100)) {
+/// CpuSet behaves like a reference set implementation.
+#[test]
+fn cpuset_matches_btreeset() {
+    run_cases("cpuset_matches_btreeset", 128, |_, rng| {
         let mut set = CpuSet::EMPTY;
         let mut model = std::collections::BTreeSet::new();
-        for (id, insert) in ops {
-            if insert {
+        let nops = rng.next_below(100);
+        for _ in 0..nops {
+            let id = rng.next_below(64) as u32;
+            if rng.chance(0.5) {
                 set.insert(CpuId(id));
                 model.insert(id);
             } else {
@@ -202,9 +219,9 @@ proptest! {
                 model.remove(&id);
             }
         }
-        prop_assert_eq!(set.len() as usize, model.len());
+        assert_eq!(set.len() as usize, model.len());
         let got: Vec<u32> = set.iter().map(|c| c.0).collect();
         let want: Vec<u32> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
 }

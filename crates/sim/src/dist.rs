@@ -37,7 +37,11 @@ pub enum Dist {
     BoundedPareto { scale: f64, shape: f64, cap: f64 },
     /// Two-point mixture: `value_a` with probability `p_a`, else
     /// `value_b`.
-    Bimodal { p_a: f64, value_a: f64, value_b: f64 },
+    Bimodal {
+        p_a: f64,
+        value_a: f64,
+        value_b: f64,
+    },
     /// Piecewise-uniform empirical distribution: each bucket
     /// `(lo, hi, weight)` is chosen with probability proportional to
     /// `weight`, then a value is drawn uniformly inside it.
@@ -117,10 +121,7 @@ impl Dist {
                     }
                     pick -= w;
                 }
-                parts
-                    .last()
-                    .map(|(_, d)| d.sample(rng))
-                    .unwrap_or(0.0)
+                parts.last().map(|(_, d)| d.sample(rng)).unwrap_or(0.0)
             }
         };
         v.max(0.0)
@@ -350,10 +351,7 @@ mod tests {
     #[test]
     fn mixture_weights() {
         let d = Dist::Mixture {
-            parts: vec![
-                (3.0, Dist::constant(1.0)),
-                (1.0, Dist::constant(5.0)),
-            ],
+            parts: vec![(3.0, Dist::constant(1.0)), (1.0, Dist::constant(5.0))],
         };
         let m = empirical_mean(&d, 12, 100_000);
         assert!((m - 2.0).abs() < 0.05, "mean {m}");

@@ -49,6 +49,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Sequence numbers still in the heap and not cancelled. Cancel
+    /// bookkeeping is validated against this so a token cancelled
+    /// after its event fired leaves no residue (the `cancelled` set is
+    /// always bounded by the heap size).
+    live: HashSet<u64>,
     cancelled: HashSet<u64>,
     now: SimTime,
 }
@@ -65,6 +70,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
         }
@@ -88,6 +94,7 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.heap.push(Entry { time, seq, event });
         EventToken(seq)
     }
@@ -95,12 +102,14 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the token had not already fired or been
-    /// cancelled. Cancelling an already-fired token is a no-op.
+    /// cancelled. Cancelling an already-fired token is a no-op (and
+    /// records nothing: cancellation state never outlives the event).
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
+        if !self.live.remove(&token.0) {
             return false;
         }
-        self.cancelled.insert(token.0)
+        self.cancelled.insert(token.0);
+        true
     }
 
     /// Pops the next non-cancelled event, advancing `now` to its time.
@@ -109,6 +118,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.live.remove(&entry.seq);
             self.now = entry.time;
             return Some((entry.time, entry.event));
         }
@@ -129,14 +139,20 @@ impl<E> EventQueue<E> {
         None
     }
 
-    /// Number of pending (possibly cancelled-but-unswept) events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.live.len()
+    }
+
+    /// Cancellation records not yet swept from the heap (diagnostics;
+    /// always bounded by the number of pending events).
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// True when no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
     }
 }
 
@@ -197,11 +213,37 @@ mod tests {
         let mut q = EventQueue::new();
         let t = q.schedule(SimTime::from_nanos(10), ());
         q.pop();
-        assert!(q.cancel(t));
-        // The cancellation is recorded but never matches a popped event;
-        // subsequent scheduling still works.
+        // The token already fired: per the documented contract the
+        // cancel reports failure and records nothing.
+        assert!(!q.cancel(t));
+        assert_eq!(q.cancelled_backlog(), 0);
         q.schedule(SimTime::from_nanos(20), ());
         assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn post_fire_cancellations_do_not_accumulate() {
+        // Regression: cancelling tokens after their events popped used
+        // to grow the cancelled set without bound (nothing ever swept
+        // those entries). The bookkeeping must stay empty here.
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for i in 0..10_000u64 {
+            tokens.push(q.schedule(SimTime::from_nanos(i + 1), i));
+        }
+        while q.pop().is_some() {}
+        for t in tokens {
+            assert!(!q.cancel(t));
+        }
+        assert_eq!(q.cancelled_backlog(), 0);
+        assert_eq!(q.len(), 0);
+        // Pre-fire cancellations are swept once their heap entry pops.
+        let a = q.schedule(SimTime::from_nanos(100_000), 0);
+        q.schedule(SimTime::from_nanos(100_001), 1);
+        assert!(q.cancel(a));
+        assert_eq!(q.cancelled_backlog(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.cancelled_backlog(), 0);
     }
 
     #[test]

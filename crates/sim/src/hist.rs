@@ -283,6 +283,62 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentile_edges_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+        assert_eq!(h.fraction_below(u64::MAX), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_exact_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [17u64, 900, 123_456, 7_777_777] {
+            h.record(v);
+        }
+        // p=0 and p=100 bypass bucket interpolation and report the
+        // exact observed extremes (as do out-of-range quantiles).
+        assert_eq!(h.percentile(0.0), 17);
+        assert_eq!(h.percentile(100.0), 7_777_777);
+        assert_eq!(h.quantile(-0.5), 17);
+        assert_eq!(h.quantile(1.5), 7_777_777);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other_extremes() {
+        let mut empty = Histogram::new();
+        let mut other = Histogram::new();
+        other.record(5);
+        other.record(50);
+        empty.merge(&other);
+        // An empty self starts with min = u64::MAX sentinel; the merge
+        // must not leak it.
+        assert_eq!(empty.min(), 5);
+        assert_eq!(empty.max(), 50);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(30);
+        let before = (h.count(), h.min(), h.max(), h.mean());
+        h.merge(&Histogram::new());
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), before);
+        // Merging two empties stays a well-formed empty histogram.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.min(), 0);
+        assert_eq!(e.max(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
     fn exact_small_values() {
         let mut h = Histogram::new();
         for v in [1u64, 2, 3, 3, 10] {
@@ -309,7 +365,17 @@ mod tests {
     fn index_and_bounds_agree() {
         // Every probed value must land in a bucket whose bounds contain it.
         let probes: Vec<u64> = (0..64)
-            .chain([64, 65, 100, 127, 128, 1000, 4096, 1 << 20, (1 << 40) + 12345])
+            .chain([
+                64,
+                65,
+                100,
+                127,
+                128,
+                1000,
+                4096,
+                1 << 20,
+                (1 << 40) + 12345,
+            ])
             .collect();
         for v in probes {
             let idx = Histogram::bucket_index(v);

@@ -24,6 +24,7 @@
 //! Everything here is `std`-only and dependency-free by design: the
 //! reproduction contract requires identical results for identical seeds.
 
+pub mod check;
 pub mod dist;
 pub mod event;
 pub mod hist;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use dist::Dist;
 pub use event::{EventQueue, EventToken};
@@ -40,3 +42,4 @@ pub use rng::Rng;
 pub use series::TimeSeries;
 pub use stats::{Counter, OnlineStats, UtilizationMeter};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceConfig, TraceEvent, TraceKind, TraceTag, Tracer};

@@ -97,7 +97,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -138,7 +142,7 @@ pub fn grouped(v: f64) -> String {
     let s = whole.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('_');
         }
         out.push(c);
@@ -190,7 +194,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.0123), "+1.23%");
         assert_eq!(pct(-0.0072), "-0.72%");
-        assert_eq!(ratio(3.14159), "3.14x");
+        assert_eq!(ratio(3.456), "3.46x");
         assert_eq!(us(2_500), "2.50");
         assert_eq!(ms(3_500_000), "3.50");
         assert_eq!(grouped(1_234_567.0), "1_234_567");

@@ -149,8 +149,7 @@ impl Rng {
         // Mix the parent state with the fork index through SplitMix64 so
         // that child streams are decorrelated from both the parent and
         // one another.
-        let mut sm = self
-            .state[0]
+        let mut sm = self.state[0]
             .wrapping_add(self.state[3].rotate_left(17))
             .wrapping_add(self.forks.wrapping_mul(0xA076_1D64_78BD_642F));
         let state = [

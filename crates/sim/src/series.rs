@@ -54,8 +54,7 @@ impl TimeSeries {
     /// the origin — a far-future timestamp that would otherwise force
     /// a multi-gigabyte allocation.
     pub fn record(&mut self, at: SimTime, value: f64) {
-        let idx = (at.saturating_since(self.origin).as_nanos() / self.interval.as_nanos())
-            as usize;
+        let idx = (at.saturating_since(self.origin).as_nanos() / self.interval.as_nanos()) as usize;
         assert!(
             idx < MAX_BUCKETS,
             "sample at {at} is {idx} intervals past the series origin (max {MAX_BUCKETS})"

@@ -1,0 +1,688 @@
+//! Deterministic, bounded scheduler trace layer.
+//!
+//! Root-causing a scheduling bug in a discrete-event simulation needs
+//! the *sequence* of decisions, not just end-of-run counters. This
+//! module provides a zero-dependency trace facility the whole
+//! workspace shares:
+//!
+//! - [`Tracer`] is a cheaply cloneable handle (`Rc<RefCell<_>>`) that
+//!   layers hand to each other; every subsystem holds an
+//!   `Option<Tracer>` so the disabled path is a single branch.
+//! - Events go into a **bounded ring** ([`TraceConfig::capacity`]):
+//!   memory never grows with run length; the oldest events are dropped
+//!   and counted ([`Tracer::dropped`]).
+//! - Every emit also bumps a per-kind counter in a `BTreeMap`, so
+//!   counter export order is deterministic.
+//! - [`Tracer::to_tsv`] renders a stable, byte-identical-for-identical-
+//!   seeds TSV (events in emission order, then counters) — the
+//!   determinism tests fingerprint it.
+//! - The query API ([`Tracer::events_on`], [`Tracer::matching`],
+//!   [`Tracer::causal_pairs`]) lets tests assert *causal* scheduler
+//!   invariants ("every hw-probe VM-exit was preceded by a probe IRQ
+//!   on that CPU") instead of aggregate ones.
+//!
+//! Event ordering is by emission sequence number. Timestamps are the
+//! emitter's best-known simulation time and are *not* guaranteed to be
+//! globally monotone: the kernel stamps intra-call times (e.g. a
+//! dispatch at `now + context_switch`) that can run slightly ahead of
+//! the machine clock. Causality queries therefore use `seq`, never
+//! `at`.
+//!
+//! # Dump-on-failure
+//!
+//! Set `TAICHI_TRACE=<path>` and hold a [`FailureDump`] guard in a
+//! test: if the test panics, the guard writes the trace TSV to
+//! `<path>` on unwind so the failing schedule can be inspected.
+
+use crate::time::SimTime;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// CPU column value for events not attributable to a single CPU.
+pub const NO_CPU: u32 = u32::MAX;
+
+/// Trace knobs (carried by the machine configuration).
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Master switch. Off by default: no tracer is constructed and
+    /// every hook is a `None` check.
+    pub enabled: bool,
+    /// Ring capacity in events. Oldest events are evicted (and
+    /// counted) beyond this.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 65_536,
+        }
+    }
+}
+
+/// What happened. Payloads are small `Copy` data; string payloads are
+/// `&'static str` names so events stay `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The vCPU scheduler granted `vcpu` the CPU (DP→CP yield or
+    /// CP-pCPU fallback placement).
+    YieldGrant {
+        /// Index of the granted vCPU.
+        vcpu: u32,
+    },
+    /// A yield was vetoed by the pipeline-occupancy signal (§9).
+    YieldVeto {
+        /// Packets in flight through the accelerator for this CPU.
+        inflight: u32,
+    },
+    /// A DP core crossed its idle threshold but no vCPU was runnable.
+    YieldNoRunnable,
+    /// VM-enter completed; `vcpu` is now in guest mode.
+    VmEnter {
+        /// Index of the entered vCPU.
+        vcpu: u32,
+    },
+    /// VM-exit began for `vcpu` with the *raw* hardware exit reason
+    /// (the controllers may reinterpret a slice expiry as a probe hit;
+    /// the trace records what the hardware saw).
+    VmExit {
+        /// Index of the exiting vCPU.
+        vcpu: u32,
+        /// Exit reason name (e.g. `"hw_probe"`, `"slice_expired"`).
+        reason: &'static str,
+    },
+    /// The adaptive slice controller changed this CPU's slice.
+    SliceAdapt {
+        /// New slice length in nanoseconds.
+        ns: u64,
+    },
+    /// The adaptive yield controller changed this CPU's empty-poll
+    /// threshold.
+    ThresholdAdapt {
+        /// New threshold in polls.
+        polls: u64,
+    },
+    /// §4.1 safe rescheduling: `vcpu` exited inside a lock context and
+    /// is being re-placed on this CPU.
+    LockReschedule {
+        /// Index of the rescheduled vCPU.
+        vcpu: u32,
+    },
+    /// The unified IPI orchestrator routed an IPI.
+    IpiRoute {
+        /// Destination CPU.
+        dst: u32,
+        /// Route taken: `"direct"`, `"posted"`, or `"wake"`.
+        route: &'static str,
+    },
+    /// The hardware workload probe's IRQ arrived at a V-state CPU.
+    ProbeIrq,
+    /// The delivery-time probe re-check caught a packet that raced a
+    /// yield (the core was P-state at ingest).
+    ProbeRecheck,
+    /// A softirq was newly raised on this CPU.
+    SoftirqRaise {
+        /// Softirq name (e.g. `"taichi_vcpu"`).
+        kind: &'static str,
+    },
+    /// A pending softirq was dispatched on this CPU.
+    SoftirqDispatch {
+        /// Softirq name.
+        kind: &'static str,
+    },
+    /// The kernel preempted the running thread at slice expiry.
+    Preempt {
+        /// Preempted thread.
+        tid: u64,
+    },
+    /// A thread entered a non-preemptible routine.
+    NonPreemptibleEnter {
+        /// The thread.
+        tid: u64,
+    },
+    /// A thread left a non-preemptible routine.
+    NonPreemptibleLeave {
+        /// The thread.
+        tid: u64,
+    },
+    /// The accelerator began preprocessing a packet (stage ②).
+    AccelPreprocess {
+        /// Packet ID.
+        pkt: u64,
+    },
+    /// The accelerator consulted the V-state table for a packet.
+    AccelVCheck {
+        /// Packet ID.
+        pkt: u64,
+        /// Whether the destination CPU was in V-state.
+        vstate: bool,
+    },
+    /// A packet finished stage ③ and became visible to software.
+    AccelTransferDone {
+        /// Packet ID.
+        pkt: u64,
+    },
+}
+
+/// Payload-free discriminant of [`TraceKind`], used for queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum TraceTag {
+    YieldGrant,
+    YieldVeto,
+    YieldNoRunnable,
+    VmEnter,
+    VmExit,
+    SliceAdapt,
+    ThresholdAdapt,
+    LockReschedule,
+    IpiRoute,
+    ProbeIrq,
+    ProbeRecheck,
+    SoftirqRaise,
+    SoftirqDispatch,
+    Preempt,
+    NonPreemptibleEnter,
+    NonPreemptibleLeave,
+    AccelPreprocess,
+    AccelVCheck,
+    AccelTransferDone,
+}
+
+impl TraceTag {
+    /// Stable snake_case name used in the TSV and counter registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceTag::YieldGrant => "yield_grant",
+            TraceTag::YieldVeto => "yield_veto",
+            TraceTag::YieldNoRunnable => "yield_no_runnable",
+            TraceTag::VmEnter => "vm_enter",
+            TraceTag::VmExit => "vm_exit",
+            TraceTag::SliceAdapt => "slice_adapt",
+            TraceTag::ThresholdAdapt => "threshold_adapt",
+            TraceTag::LockReschedule => "lock_reschedule",
+            TraceTag::IpiRoute => "ipi_route",
+            TraceTag::ProbeIrq => "probe_irq",
+            TraceTag::ProbeRecheck => "probe_recheck",
+            TraceTag::SoftirqRaise => "softirq_raise",
+            TraceTag::SoftirqDispatch => "softirq_dispatch",
+            TraceTag::Preempt => "preempt",
+            TraceTag::NonPreemptibleEnter => "nonpreemptible_enter",
+            TraceTag::NonPreemptibleLeave => "nonpreemptible_leave",
+            TraceTag::AccelPreprocess => "accel_preprocess",
+            TraceTag::AccelVCheck => "accel_vcheck",
+            TraceTag::AccelTransferDone => "accel_transfer_done",
+        }
+    }
+}
+
+impl TraceKind {
+    /// The payload-free discriminant.
+    pub fn tag(&self) -> TraceTag {
+        match self {
+            TraceKind::YieldGrant { .. } => TraceTag::YieldGrant,
+            TraceKind::YieldVeto { .. } => TraceTag::YieldVeto,
+            TraceKind::YieldNoRunnable => TraceTag::YieldNoRunnable,
+            TraceKind::VmEnter { .. } => TraceTag::VmEnter,
+            TraceKind::VmExit { .. } => TraceTag::VmExit,
+            TraceKind::SliceAdapt { .. } => TraceTag::SliceAdapt,
+            TraceKind::ThresholdAdapt { .. } => TraceTag::ThresholdAdapt,
+            TraceKind::LockReschedule { .. } => TraceTag::LockReschedule,
+            TraceKind::IpiRoute { .. } => TraceTag::IpiRoute,
+            TraceKind::ProbeIrq => TraceTag::ProbeIrq,
+            TraceKind::ProbeRecheck => TraceTag::ProbeRecheck,
+            TraceKind::SoftirqRaise { .. } => TraceTag::SoftirqRaise,
+            TraceKind::SoftirqDispatch { .. } => TraceTag::SoftirqDispatch,
+            TraceKind::Preempt { .. } => TraceTag::Preempt,
+            TraceKind::NonPreemptibleEnter { .. } => TraceTag::NonPreemptibleEnter,
+            TraceKind::NonPreemptibleLeave { .. } => TraceTag::NonPreemptibleLeave,
+            TraceKind::AccelPreprocess { .. } => TraceTag::AccelPreprocess,
+            TraceKind::AccelVCheck { .. } => TraceTag::AccelVCheck,
+            TraceKind::AccelTransferDone { .. } => TraceTag::AccelTransferDone,
+        }
+    }
+
+    /// Stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        self.tag().name()
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            TraceKind::YieldGrant { vcpu } => format!("vcpu={vcpu}"),
+            TraceKind::YieldVeto { inflight } => format!("inflight={inflight}"),
+            TraceKind::YieldNoRunnable => "-".into(),
+            TraceKind::VmEnter { vcpu } => format!("vcpu={vcpu}"),
+            TraceKind::VmExit { vcpu, reason } => {
+                format!("vcpu={vcpu} reason={reason}")
+            }
+            TraceKind::SliceAdapt { ns } => format!("ns={ns}"),
+            TraceKind::ThresholdAdapt { polls } => format!("polls={polls}"),
+            TraceKind::LockReschedule { vcpu } => format!("vcpu={vcpu}"),
+            TraceKind::IpiRoute { dst, route } => format!("dst={dst} route={route}"),
+            TraceKind::ProbeIrq | TraceKind::ProbeRecheck => "-".into(),
+            TraceKind::SoftirqRaise { kind } | TraceKind::SoftirqDispatch { kind } => {
+                format!("kind={kind}")
+            }
+            TraceKind::Preempt { tid }
+            | TraceKind::NonPreemptibleEnter { tid }
+            | TraceKind::NonPreemptibleLeave { tid } => format!("tid={tid}"),
+            TraceKind::AccelPreprocess { pkt } | TraceKind::AccelTransferDone { pkt } => {
+                format!("pkt={pkt}")
+            }
+            TraceKind::AccelVCheck { pkt, vstate } => {
+                format!("pkt={pkt} vstate={vstate}")
+            }
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emission sequence number (total order over the whole run,
+    /// including evicted events).
+    pub seq: u64,
+    /// Simulation time known to the emitter.
+    pub at: SimTime,
+    /// CPU the event concerns ([`NO_CPU`] when not applicable).
+    pub cpu: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+#[derive(Debug)]
+struct TraceBuf {
+    capacity: usize,
+    next_seq: u64,
+    now: SimTime,
+    dropped: u64,
+    ring: VecDeque<TraceEvent>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// Cloneable handle to a shared trace buffer.
+///
+/// Cloning is cheap (reference count); all clones observe and append
+/// to the same ring. Not `Send`: the simulation is single-threaded by
+/// design.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    inner: Rc<RefCell<TraceBuf>>,
+}
+
+impl Tracer {
+    /// Creates a tracer with the given ring capacity (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(TraceBuf {
+                capacity: capacity.max(1),
+                next_seq: 0,
+                now: SimTime::ZERO,
+                dropped: 0,
+                ring: VecDeque::new(),
+                counters: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Creates a tracer from a config; `None` when disabled.
+    pub fn from_config(cfg: &TraceConfig) -> Option<Self> {
+        cfg.enabled.then(|| Tracer::new(cfg.capacity))
+    }
+
+    /// Advances the tracer clock (the event loop calls this once per
+    /// popped event; emitters without their own `now` use it).
+    pub fn set_time(&self, now: SimTime) {
+        self.inner.borrow_mut().now = now;
+    }
+
+    /// Current tracer clock.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Emits an event stamped with the tracer clock.
+    pub fn emit(&self, cpu: u32, kind: TraceKind) {
+        let now = self.inner.borrow().now;
+        self.emit_at(now, cpu, kind);
+    }
+
+    /// Emits an event with an explicit timestamp.
+    pub fn emit_at(&self, at: SimTime, cpu: u32, kind: TraceKind) {
+        let mut b = self.inner.borrow_mut();
+        let seq = b.next_seq;
+        b.next_seq += 1;
+        *b.counters.entry(kind.name()).or_insert(0) += 1;
+        if b.ring.len() == b.capacity {
+            b.ring.pop_front();
+            b.dropped += 1;
+        }
+        b.ring.push_back(TraceEvent { seq, at, cpu, kind });
+    }
+
+    /// Bumps a named counter without emitting a ring event.
+    pub fn bump(&self, name: &'static str) {
+        *self.inner.borrow_mut().counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    pub fn total_emitted(&self) -> u64 {
+        self.inner.borrow().next_seq
+    }
+
+    /// Value of a named counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in deterministic (name) order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// A copy of the buffered events in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().ring.iter().copied().collect()
+    }
+
+    /// Buffered events that concern `cpu`, in emission order.
+    pub fn events_on(&self, cpu: u32) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .ring
+            .iter()
+            .filter(|e| e.cpu == cpu)
+            .copied()
+            .collect()
+    }
+
+    /// Buffered events whose kind matches `tag`, in emission order.
+    pub fn matching(&self, tag: TraceTag) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .ring
+            .iter()
+            .filter(|e| e.kind.tag() == tag)
+            .copied()
+            .collect()
+    }
+
+    /// Per-CPU timelines: every buffered event grouped by CPU, each
+    /// group in emission order.
+    pub fn per_cpu_timelines(&self) -> BTreeMap<u32, Vec<TraceEvent>> {
+        let mut map: BTreeMap<u32, Vec<TraceEvent>> = BTreeMap::new();
+        for e in self.inner.borrow().ring.iter() {
+            map.entry(e.cpu).or_default().push(*e);
+        }
+        map
+    }
+
+    /// For every buffered event whose tag is in `effects`, pairs it
+    /// with the most recent *earlier* event on the **same CPU** whose
+    /// tag is in `causes` (`None` when no such cause exists in the
+    /// buffer). Ordering is by emission sequence, so a cause emitted
+    /// at the same simulated instant still counts.
+    pub fn causal_pairs(
+        &self,
+        causes: &[TraceTag],
+        effects: &[TraceTag],
+    ) -> Vec<(Option<TraceEvent>, TraceEvent)> {
+        let mut latest_cause: BTreeMap<u32, TraceEvent> = BTreeMap::new();
+        let mut out = Vec::new();
+        for e in self.inner.borrow().ring.iter() {
+            let tag = e.kind.tag();
+            if effects.contains(&tag) {
+                out.push((latest_cause.get(&e.cpu).copied(), *e));
+            }
+            if causes.contains(&tag) {
+                latest_cause.insert(e.cpu, *e);
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as a stable TSV: a header, one line per
+    /// buffered event, then the counter registry and drop count as
+    /// `#`-prefixed footer lines. Identical seeds produce byte-
+    /// identical output.
+    pub fn to_tsv(&self) -> String {
+        let b = self.inner.borrow();
+        let mut s = String::with_capacity(64 + b.ring.len() * 48);
+        s.push_str("# taichi-trace v1\n");
+        s.push_str("# seq\tns\tcpu\tkind\tdetail\n");
+        for e in b.ring.iter() {
+            let _ = write!(s, "{}\t{}\t", e.seq, e.at.as_nanos());
+            if e.cpu == NO_CPU {
+                s.push('-');
+            } else {
+                let _ = write!(s, "{}", e.cpu);
+            }
+            let _ = writeln!(s, "\t{}\t{}", e.kind.name(), e.kind.detail());
+        }
+        for (name, v) in b.counters.iter() {
+            let _ = writeln!(s, "# counter\t{name}\t{v}");
+        }
+        let _ = writeln!(s, "# dropped\t{}", b.dropped);
+        s
+    }
+}
+
+/// RAII guard that writes the trace to `$TAICHI_TRACE` if the holding
+/// thread unwinds with a panic (i.e. a test fails). No-op otherwise.
+#[derive(Debug)]
+pub struct FailureDump {
+    tracer: Tracer,
+    label: String,
+}
+
+impl FailureDump {
+    /// Arms a dump guard labelled `label` (shown in the stderr note).
+    pub fn new(tracer: &Tracer, label: &str) -> Self {
+        FailureDump {
+            tracer: tracer.clone(),
+            label: label.to_string(),
+        }
+    }
+}
+
+impl Drop for FailureDump {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let Ok(path) = std::env::var("TAICHI_TRACE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        match std::fs::write(&path, self.tracer.to_tsv()) {
+            Ok(()) => eprintln!("[taichi-trace] {}: wrote {path}", self.label),
+            Err(e) => eprintln!("[taichi-trace] {}: could not write {path}: {e}", self.label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tracer: &Tracer, at_ns: u64, cpu: u32, kind: TraceKind) {
+        tracer.emit_at(SimTime::from_nanos(at_ns), cpu, kind);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::new(4);
+        for i in 0..10 {
+            ev(&t, i, 0, TraceKind::ProbeIrq);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.capacity(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.total_emitted(), 10);
+        // The survivors are the newest four, in order.
+        let seqs: Vec<u64> = t.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Counters see every emit, not just survivors.
+        assert_eq!(t.counter("probe_irq"), 10);
+    }
+
+    #[test]
+    fn queries_filter_by_cpu_and_tag() {
+        let t = Tracer::new(64);
+        ev(&t, 1, 0, TraceKind::ProbeIrq);
+        ev(&t, 2, 1, TraceKind::VmEnter { vcpu: 3 });
+        ev(
+            &t,
+            3,
+            0,
+            TraceKind::VmExit {
+                vcpu: 3,
+                reason: "hw_probe",
+            },
+        );
+        assert_eq!(t.events_on(0).len(), 2);
+        assert_eq!(t.events_on(1).len(), 1);
+        assert_eq!(t.matching(TraceTag::VmEnter).len(), 1);
+        assert_eq!(t.matching(TraceTag::SoftirqRaise).len(), 0);
+        let tl = t.per_cpu_timelines();
+        assert_eq!(tl[&0].len(), 2);
+        assert_eq!(tl[&1].len(), 1);
+    }
+
+    #[test]
+    fn causal_pairs_match_nearest_prior_cause_on_same_cpu() {
+        let t = Tracer::new(64);
+        ev(&t, 1, 0, TraceKind::ProbeIrq); // cause on cpu 0
+        ev(
+            &t,
+            2,
+            1,
+            TraceKind::VmExit {
+                vcpu: 9,
+                reason: "x",
+            },
+        ); // no cause on cpu 1
+        ev(&t, 3, 0, TraceKind::ProbeIrq); // newer cause on cpu 0
+        ev(
+            &t,
+            4,
+            0,
+            TraceKind::VmExit {
+                vcpu: 9,
+                reason: "x",
+            },
+        );
+        let pairs = t.causal_pairs(&[TraceTag::ProbeIrq], &[TraceTag::VmExit]);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].0.is_none(), "cpu 1 exit has no probe IRQ");
+        let (cause, effect) = (&pairs[1].0, &pairs[1].1);
+        assert_eq!(cause.expect("paired").seq, 2, "nearest prior cause");
+        assert_eq!(effect.seq, 3);
+    }
+
+    #[test]
+    fn effect_at_same_instant_still_pairs() {
+        let t = Tracer::new(8);
+        ev(&t, 5, 2, TraceKind::ProbeIrq);
+        ev(
+            &t,
+            5,
+            2,
+            TraceKind::VmExit {
+                vcpu: 0,
+                reason: "hw_probe",
+            },
+        );
+        let pairs = t.causal_pairs(&[TraceTag::ProbeIrq], &[TraceTag::VmExit]);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs[0].0.is_some());
+    }
+
+    #[test]
+    fn tsv_is_stable_and_self_describing() {
+        let t = Tracer::new(8);
+        ev(
+            &t,
+            10,
+            3,
+            TraceKind::SoftirqRaise {
+                kind: "taichi_vcpu",
+            },
+        );
+        ev(&t, 12, NO_CPU, TraceKind::SliceAdapt { ns: 100_000 });
+        let tsv = t.to_tsv();
+        assert!(tsv.starts_with("# taichi-trace v1\n"));
+        assert!(tsv.contains("0\t10\t3\tsoftirq_raise\tkind=taichi_vcpu\n"));
+        assert!(tsv.contains("1\t12\t-\tslice_adapt\tns=100000\n"));
+        assert!(tsv.contains("# counter\tslice_adapt\t1\n"));
+        assert!(tsv.contains("# counter\tsoftirq_raise\t1\n"));
+        assert!(tsv.ends_with("# dropped\t0\n"));
+        // Rendering twice is byte-identical.
+        assert_eq!(tsv, t.to_tsv());
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let t = Tracer::new(8);
+        ev(&t, 1, 0, TraceKind::VmEnter { vcpu: 0 });
+        ev(&t, 1, 0, TraceKind::ProbeIrq);
+        t.bump("custom");
+        let names: Vec<&str> = t.counters().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(t.counter("custom"), 1);
+        assert_eq!(t.counter("never"), 0);
+    }
+
+    #[test]
+    fn clock_drives_emit() {
+        let t = Tracer::new(8);
+        t.set_time(SimTime::from_nanos(77));
+        t.emit(1, TraceKind::ProbeRecheck);
+        assert_eq!(t.snapshot()[0].at.as_nanos(), 77);
+        assert_eq!(t.now().as_nanos(), 77);
+    }
+
+    #[test]
+    fn from_config_respects_enable() {
+        assert!(Tracer::from_config(&TraceConfig::default()).is_none());
+        let on = TraceConfig {
+            enabled: true,
+            capacity: 16,
+        };
+        assert!(Tracer::from_config(&on).is_some());
+    }
+}

@@ -1,16 +1,17 @@
-//! Property-based tests for the simulation substrate.
+//! Randomized property tests for the simulation substrate, driven by
+//! the in-repo deterministic harness ([`taichi_sim::check`]) so the
+//! workspace tests without network access.
 
-use proptest::prelude::*;
+use taichi_sim::check::{run_cases, vec_u64};
 use taichi_sim::{Dist, EventQueue, Histogram, OnlineStats, Rng, SimDuration, SimTime};
 
-proptest! {
-    /// The histogram's quantiles track a naive sorted-vector oracle
-    /// within the structure's documented ~2 % relative error.
-    #[test]
-    fn histogram_quantiles_match_oracle(
-        mut values in prop::collection::vec(1u64..10_000_000, 50..500),
-        q in 0.01f64..0.99,
-    ) {
+/// The histogram's quantiles track a naive sorted-vector oracle within
+/// the structure's documented ~2 % relative error.
+#[test]
+fn histogram_quantiles_match_oracle() {
+    run_cases("histogram_quantiles_match_oracle", 128, |_, rng| {
+        let mut values = vec_u64(rng, 50, 500, 1, 10_000_000);
+        let q = 0.01 + rng.next_f64() * 0.98;
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -22,53 +23,66 @@ proptest! {
         // Bucketed quantiles may differ by the bucket width (~1.6 %)
         // plus one sample of discreteness at small counts.
         let tolerance = oracle * 0.04 + values[values.len() - 1] as f64 * 0.02;
-        prop_assert!(
+        assert!(
             (got - oracle).abs() <= tolerance + 2.0,
             "q={q} got={got} oracle={oracle}"
         );
-    }
+    });
+}
 
-    /// Histogram count/min/max/mean are exact regardless of bucketing.
-    #[test]
-    fn histogram_moments_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+/// Histogram count/min/max/mean are exact regardless of bucketing.
+#[test]
+fn histogram_moments_exact() {
+    run_cases("histogram_moments_exact", 128, |_, rng| {
+        let values = vec_u64(rng, 1, 300, 0, 1_000_000);
         let mut h = Histogram::new();
         let mut sum = 0u128;
         for &v in &values {
             h.record(v);
             sum += v as u128;
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
-        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.min(), *values.iter().min().unwrap());
+        assert_eq!(h.max(), *values.iter().max().unwrap());
         let mean = sum as f64 / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-6);
-    }
+        assert!((h.mean() - mean).abs() < 1e-6);
+    });
+}
 
-    /// Merging histograms equals recording the concatenation.
-    #[test]
-    fn histogram_merge_is_concat(
-        a in prop::collection::vec(0u64..100_000, 0..200),
-        b in prop::collection::vec(0u64..100_000, 0..200),
-    ) {
+/// Merging histograms equals recording the concatenation — including
+/// when either side is empty.
+#[test]
+fn histogram_merge_is_concat() {
+    run_cases("histogram_merge_is_concat", 128, |_, rng| {
+        let a = vec_u64(rng, 0, 200, 0, 100_000);
+        let b = vec_u64(rng, 0, 200, 0, 100_000);
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hc = Histogram::new();
-        for &v in &a { ha.record(v); hc.record(v); }
-        for &v in &b { hb.record(v); hc.record(v); }
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hc.count());
-        prop_assert_eq!(ha.quantile(0.5), hc.quantile(0.5));
-        prop_assert_eq!(ha.quantile(0.99), hc.quantile(0.99));
-        prop_assert_eq!(ha.max(), hc.max());
-    }
+        assert_eq!(ha.count(), hc.count());
+        assert_eq!(ha.quantile(0.5), hc.quantile(0.5));
+        assert_eq!(ha.quantile(0.99), hc.quantile(0.99));
+        assert_eq!(ha.min(), hc.min());
+        assert_eq!(ha.max(), hc.max());
+    });
+}
 
-    /// The event queue pops in nondecreasing time order and returns
-    /// exactly the live (non-cancelled) events.
-    #[test]
-    fn event_queue_total_order(
-        times in prop::collection::vec(0u64..1_000_000, 1..200),
-        cancel_every in 2usize..7,
-    ) {
+/// The event queue pops in nondecreasing time order and returns exactly
+/// the live (non-cancelled) events.
+#[test]
+fn event_queue_total_order() {
+    run_cases("event_queue_total_order", 128, |_, rng| {
+        let times = vec_u64(rng, 1, 200, 0, 1_000_000);
+        let cancel_every = rng.gen_range(2, 7) as usize;
         let mut q = EventQueue::new();
         let mut tokens = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -82,58 +96,82 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut seen = 0;
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last, "time went backwards");
-            prop_assert!(!cancelled.contains(&i), "cancelled event fired");
+            assert!(t >= last, "time went backwards");
+            assert!(!cancelled.contains(&i), "cancelled event fired");
             last = t;
             seen += 1;
         }
-        prop_assert_eq!(seen, times.len() - cancelled.len());
-    }
+        assert_eq!(seen, times.len() - cancelled.len());
+    });
+}
 
-    /// Ties at the same timestamp preserve insertion order.
-    #[test]
-    fn event_queue_fifo_ties(n in 1usize..100, t in 0u64..1000) {
+/// Ties at the same timestamp preserve insertion order.
+#[test]
+fn event_queue_fifo_ties() {
+    run_cases("event_queue_fifo_ties", 64, |_, rng| {
+        let n = rng.gen_range(1, 100) as usize;
+        let t = SimTime::from_nanos(rng.next_below(1000));
         let mut q = EventQueue::new();
         for i in 0..n {
-            q.schedule(SimTime::from_nanos(t), i);
+            q.schedule(t, i);
         }
         for i in 0..n {
-            prop_assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
         }
-    }
+    });
+}
 
-    /// All distributions produce finite non-negative samples.
-    #[test]
-    fn distributions_nonnegative_finite(seed in any::<u64>(), mean in 0.1f64..1e6) {
+/// All distributions produce finite non-negative samples.
+#[test]
+fn distributions_nonnegative_finite() {
+    run_cases("distributions_nonnegative_finite", 128, |_, rng| {
+        let seed = rng.next_u64();
+        let mean = 0.1 + rng.next_f64() * (1e6 - 0.1);
         let dists = [
             Dist::exponential(mean),
             Dist::uniform(0.0, mean),
             Dist::LogNormal { mean, sigma: 1.0 },
-            Dist::Pareto { scale: mean, shape: 1.5 },
-            Dist::BoundedPareto { scale: 1.0, shape: 1.2, cap: mean.max(2.0) },
+            Dist::Pareto {
+                scale: mean,
+                shape: 1.5,
+            },
+            Dist::BoundedPareto {
+                scale: 1.0,
+                shape: 1.2,
+                cap: mean.max(2.0),
+            },
         ];
-        let mut rng = Rng::new(seed);
+        let mut sample_rng = Rng::new(seed);
         for d in &dists {
             for _ in 0..100 {
-                let x = d.sample(&mut rng);
-                prop_assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
+                let x = d.sample(&mut sample_rng);
+                assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
             }
         }
-    }
+    });
+}
 
-    /// RNG ranges are honoured for arbitrary bounds.
-    #[test]
-    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..100_000) {
-        let mut rng = Rng::new(seed);
+/// RNG ranges are honoured for arbitrary bounds.
+#[test]
+fn rng_range_bounds() {
+    run_cases("rng_range_bounds", 128, |_, rng| {
+        let seed = rng.next_u64();
+        let lo = rng.next_below(1000);
+        let width = rng.gen_range(1, 100_000);
+        let mut r = Rng::new(seed);
         for _ in 0..200 {
-            let v = rng.gen_range(lo, lo + width);
-            prop_assert!((lo..lo + width).contains(&v));
+            let v = r.gen_range(lo, lo + width);
+            assert!((lo..lo + width).contains(&v));
         }
-    }
+    });
+}
 
-    /// Welford statistics match naive two-pass computation.
-    #[test]
-    fn online_stats_match_naive(values in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Welford statistics match naive two-pass computation.
+#[test]
+fn online_stats_match_naive() {
+    run_cases("online_stats_match_naive", 128, |_, rng| {
+        let n = rng.gen_range(2, 200) as usize;
+        let values: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = OnlineStats::new();
         for &v in &values {
             s.push(v);
@@ -141,17 +179,21 @@ proptest! {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
-    }
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+    });
+}
 
-    /// Time arithmetic round-trips.
-    #[test]
-    fn time_arithmetic_roundtrip(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic round-trips.
+#[test]
+fn time_arithmetic_roundtrip() {
+    run_cases("time_arithmetic_roundtrip", 256, |_, rng| {
+        let a = rng.next_below(u64::MAX / 4);
+        let d = rng.next_below(u64::MAX / 4);
         let t = SimTime::from_nanos(a);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t + dur) - dur, t);
-        prop_assert_eq!((t + dur) - t, dur);
-        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
-    }
+        assert_eq!((t + dur) - dur, t);
+        assert_eq!((t + dur) - t, dur);
+        assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+    });
 }

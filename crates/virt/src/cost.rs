@@ -52,9 +52,7 @@ impl VirtCosts {
 
     /// Scales a native execution duration by the guest tax.
     pub fn guest_time(&self, native: SimDuration) -> SimDuration {
-        SimDuration::from_nanos(
-            (native.as_nanos() as f64 * self.guest_exec_tax).round() as u64,
-        )
+        SimDuration::from_nanos((native.as_nanos() as f64 * self.guest_exec_tax).round() as u64)
     }
 }
 

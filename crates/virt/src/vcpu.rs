@@ -200,11 +200,7 @@ impl Vcpu {
     /// Convenience: full switch timing for a placement at `now` with a
     /// slice of `slice`, under `costs`. Returns `(guest_start,
     /// slice_end)`.
-    pub fn grant_window(
-        costs: &VirtCosts,
-        now: SimTime,
-        slice: SimDuration,
-    ) -> (SimTime, SimTime) {
+    pub fn grant_window(costs: &VirtCosts, now: SimTime, slice: SimDuration) -> (SimTime, SimTime) {
         let start = now + costs.vm_enter;
         (start, start + slice)
     }
@@ -259,7 +255,10 @@ mod tests {
         for i in 0..3u64 {
             let t0 = SimTime::from_micros(i * 100);
             v.place(CpuId(0), t0);
-            v.enter_complete(t0 + SimDuration::from_micros(1), t0 + SimDuration::from_micros(51));
+            v.enter_complete(
+                t0 + SimDuration::from_micros(1),
+                t0 + SimDuration::from_micros(51),
+            );
             v.begin_exit(VmExitReason::HwProbe, t0 + SimDuration::from_micros(21));
             v.exit_complete(t0 + SimDuration::from_micros(22));
         }

@@ -54,12 +54,7 @@ pub struct MysqlResult {
 /// Runs the MySQL case under `mode`.
 pub fn run(mode: Mode, seed: u64) -> MysqlResult {
     let window = SimDuration::from_millis(250);
-    let net = measure(
-        mode,
-        &BenchTraffic::net(512.0, 0.35, true),
-        window,
-        seed,
-    );
+    let net = measure(mode, &BenchTraffic::net(512.0, 0.35, true), window, seed);
     let storage = measure(
         mode,
         &BenchTraffic::storage(4096.0, 0.30, true),
@@ -67,9 +62,7 @@ pub fn run(mode: Mode, seed: u64) -> MysqlResult {
         seed ^ 0x5707A6E,
     );
     let lat_us = |net_ns: f64, st_ns: f64| {
-        HOST_QUERY_US
-            + NET_RTS_PER_QUERY * 2.0 * net_ns / 1e3
-            + STORAGE_OPS_PER_QUERY * st_ns / 1e3
+        HOST_QUERY_US + NET_RTS_PER_QUERY * 2.0 * net_ns / 1e3 + STORAGE_OPS_PER_QUERY * st_ns / 1e3
     };
     let avg_lat = lat_us(net.lat_mean_ns, storage.lat_mean_ns);
     let fast_lat = lat_us(net.lat_p50_ns as f64, storage.lat_p50_ns as f64);

@@ -134,12 +134,7 @@ pub struct MeasuredDp {
 /// monitoring tasks (≈2 concurrent device inits plus monitors every
 /// 5 ms) — enough to keep vCPUs populated without saturating the CP
 /// plane.
-pub fn measure(
-    mode: Mode,
-    traffic: &BenchTraffic,
-    horizon: SimDuration,
-    seed: u64,
-) -> MeasuredDp {
+pub fn measure(mode: Mode, traffic: &BenchTraffic, horizon: SimDuration, seed: u64) -> MeasuredDp {
     let cfg = MachineConfig {
         seed,
         ..MachineConfig::default()
@@ -177,6 +172,7 @@ pub fn measure_probed(
     .with_queue(1);
     m.add_traffic(probe);
     m.run_until(SimTime::ZERO + horizon);
+    maybe_dump_trace(&m);
     let background = extract(&m, horizon, |s| s.recorder().clone());
     let probe_stats = extract(&m, horizon, |s| s.tagged_recorder().clone());
     (background, probe_stats)
@@ -192,7 +188,31 @@ pub fn measure_cfg(
 ) -> MeasuredDp {
     let mut m = machine_with_load(cfg, mode, traffic, horizon);
     m.run_until(SimTime::ZERO + horizon);
+    maybe_dump_trace(&m);
     extract(&m, horizon, |s| s.recorder().clone())
+}
+
+/// When the run recorded a scheduler trace (the `TAICHI_TRACE`
+/// override or an explicit `MachineConfig.trace.enabled`), writes its
+/// TSV to `$TAICHI_TRACE` (when set to a non-empty path) or to
+/// `target/experiments/<mode>.trace.tsv`. Each run overwrites, so the
+/// file holds the most recent run for that mode — enough to replay the
+/// schedule behind the numbers a benchmark just printed.
+fn maybe_dump_trace(m: &Machine) {
+    let Some(tsv) = m.trace_tsv() else { return };
+    let path = match std::env::var("TAICHI_TRACE") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => {
+            let dir = std::path::PathBuf::from("target/experiments");
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(format!("{}.trace.tsv", m.mode()))
+        }
+    };
+    if let Err(e) = std::fs::write(&path, tsv) {
+        eprintln!("warning: could not write trace {}: {e}", path.display());
+    } else {
+        eprintln!("[trace] {}", path.display());
+    }
 }
 
 /// Builds a machine with `traffic` plus the standard background CP

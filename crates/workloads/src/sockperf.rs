@@ -66,8 +66,7 @@ pub fn run_udp(mode: Mode, seed: u64) -> SockperfUdpResult {
     // sockperf's latency mode sends paced probe messages over the
     // background load and reports their percentiles.
     let traffic = BenchTraffic::net(512.0, 0.3, true).with_burst_intensity(0.5);
-    let (_bg, raw) =
-        measure_probed(mode, &traffic, 50.0, SimDuration::from_millis(600), seed);
+    let (_bg, raw) = measure_probed(mode, &traffic, 50.0, SimDuration::from_millis(600), seed);
     SockperfUdpResult {
         avg_lat_us: BASE_ONEWAY_US + raw.lat_mean_ns / 1e3,
         p99_lat_us: BASE_ONEWAY_US + raw.lat_p99_ns as f64 / 1e3,

@@ -32,6 +32,12 @@ fn peak_pps(spec: SmartNicSpec, mode: Mode) -> f64 {
 }
 
 fn main() {
+    // `--trace` arms the TAICHI_TRACE override: every machine records a
+    // scheduler trace and the workload runner dumps the last run per
+    // mode under target/experiments/ (see README: scheduler tracing).
+    if std::env::args().any(|a| a == "--trace") && std::env::var_os("TAICHI_TRACE").is_none() {
+        std::env::set_var("TAICHI_TRACE", "");
+    }
     println!("peak packet throughput at saturating offered load ...\n");
     let base = peak_pps(SmartNicSpec::default(), Mode::Baseline);
     println!("static 8 DP + 4 CP (baseline) : {base:>12.0} pps");

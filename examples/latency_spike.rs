@@ -14,6 +14,12 @@ use taichi::core::machine::Mode;
 use taichi::workloads::ping;
 
 fn main() {
+    // `--trace` arms the TAICHI_TRACE override: every machine records a
+    // scheduler trace and the workload runner dumps the last run per
+    // mode under target/experiments/ (see README: scheduler tracing).
+    if std::env::args().any(|a| a == "--trace") && std::env::var_os("TAICHI_TRACE").is_none() {
+        std::env::set_var("TAICHI_TRACE", "");
+    }
     println!("ping through the SmartNIC under background traffic + CP churn ...\n");
     println!(
         "{:<22} {:>9} {:>9} {:>9} {:>9}",

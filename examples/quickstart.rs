@@ -30,7 +30,11 @@ fn traffic() -> TrafficGen {
 }
 
 fn run(mode: Mode) -> RunReport {
-    let mut machine = Machine::new(MachineConfig::default(), mode);
+    // `--trace` records the scheduler's decisions and dumps them as a
+    // TSV per mode (see README: scheduler tracing).
+    let mut cfg = MachineConfig::default();
+    cfg.trace.enabled = std::env::args().any(|a| a == "--trace");
+    let mut machine = Machine::new(cfg, mode);
     machine.add_traffic(traffic());
 
     // 16 concurrent control-plane tasks, ~50 ms of CPU each, mixing
@@ -42,6 +46,13 @@ fn run(mode: Mode) -> RunReport {
     machine.schedule_cp_batch(synth.workload(16, &mut rng), SimTime::ZERO);
 
     machine.run_until(SimTime::from_secs(2));
+    if let Some(tsv) = machine.trace_tsv() {
+        let path = format!("quickstart_{mode}.trace.tsv");
+        match std::fs::write(&path, tsv) {
+            Ok(()) => println!("[trace] {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
     RunReport::collect(&machine)
 }
 

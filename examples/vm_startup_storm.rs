@@ -18,7 +18,11 @@ use taichi::hw::{CpuId, IoKind};
 use taichi::sim::{Dist, SimDuration, SimTime};
 
 fn run(mode: Mode, density: u32, vms: u32) -> Vec<f64> {
-    let mut machine = Machine::new(MachineConfig::default(), mode);
+    // `--trace` records the scheduler's decisions and dumps them as a
+    // TSV per mode (see README: scheduler tracing).
+    let mut cfg = MachineConfig::default();
+    cfg.trace.enabled = std::env::args().any(|a| a == "--trace");
+    let mut machine = Machine::new(cfg, mode);
     machine.add_traffic(TrafficGen::new(
         ArrivalPattern::OnOff {
             on_us: Dist::constant(200.0),
@@ -32,21 +36,23 @@ fn run(mode: Mode, density: u32, vms: u32) -> Vec<f64> {
 
     let factory = TaskFactory::default();
     for i in 0..vms {
-        let mut req = VmCreateRequest::at_density(
-            i as u64,
-            density,
-            SimTime::from_millis(i as u64 * 5),
-        );
+        let mut req =
+            VmCreateRequest::at_density(i as u64, density, SimTime::from_millis(i as u64 * 5));
         req.qemu_boot = SimDuration::from_millis(10);
         machine.schedule_vm_create(req, &factory);
     }
 
     let mut horizon = SimTime::from_secs(2);
-    while (machine.vm_startup_times().len() as u32) < vms
-        && horizon < SimTime::from_secs(60)
-    {
+    while (machine.vm_startup_times().len() as u32) < vms && horizon < SimTime::from_secs(60) {
         machine.run_until(horizon);
-        horizon = horizon + SimDuration::from_secs(2);
+        horizon += SimDuration::from_secs(2);
+    }
+    if let Some(tsv) = machine.trace_tsv() {
+        let path = format!("vm_startup_storm_{mode}.trace.tsv");
+        match std::fs::write(&path, tsv) {
+            Ok(()) => println!("[trace] {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
     }
     machine
         .vm_startup_times()

@@ -71,9 +71,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match a.as_str() {
             "--mode" => {
                 let v = val("--mode")?;
-                o.mode = parse_mode(v).ok_or_else(|| {
-                    format!("unknown mode '{v}' (see `taichi modes`)")
-                })?;
+                o.mode = parse_mode(v)
+                    .ok_or_else(|| format!("unknown mode '{v}' (see `taichi modes`)"))?;
             }
             "--seed" => {
                 let v = val("--seed")?;
@@ -235,28 +234,34 @@ fn cmd_compare(o: &Opts) -> ExitCode {
         cp_means.iter().find(|(m, _)| *m == Mode::TaiChi),
     ) {
         if tc.1 > 0.0 {
-            println!("\ncontrol-plane speedup (baseline/taichi): {:.2}x", base.1 / tc.1);
+            println!(
+                "\ncontrol-plane speedup (baseline/taichi): {:.2}x",
+                base.1 / tc.1
+            );
         }
     }
     ExitCode::SUCCESS
 }
 
 fn cmd_vmstorm(o: &Opts) -> ExitCode {
-    let mut m = build(&Opts { cp_tasks: 0, ..o.clone() }, o.mode);
+    let mut m = build(
+        &Opts {
+            cp_tasks: 0,
+            ..o.clone()
+        },
+        o.mode,
+    );
     let factory = TaskFactory::default();
     for i in 0..o.vms {
-        let mut req = VmCreateRequest::at_density(
-            i as u64,
-            o.density,
-            SimTime::from_millis(i as u64 * 5),
-        );
+        let mut req =
+            VmCreateRequest::at_density(i as u64, o.density, SimTime::from_millis(i as u64 * 5));
         req.qemu_boot = SimDuration::from_millis(10);
         m.schedule_vm_create(req, &factory);
     }
     let mut horizon = SimTime::from_secs(2);
     while (m.vm_startup_times().len() as u32) < o.vms && horizon < SimTime::from_secs(120) {
         m.run_until(horizon);
-        horizon = horizon + SimDuration::from_secs(2);
+        horizon += SimDuration::from_secs(2);
     }
     let times = m.vm_startup_times();
     if (times.len() as u32) < o.vms {
@@ -289,7 +294,9 @@ fn cmd_modes() -> ExitCode {
         let desc = match m {
             Mode::Baseline => "production static partitioning (8 DP + 4 CP pCPUs)",
             Mode::TaiChi => "full Tai Chi hybrid virtualization",
-            Mode::TaiChiNoHwProbe => "Tai Chi without the hardware workload probe (Table 5 ablation)",
+            Mode::TaiChiNoHwProbe => {
+                "Tai Chi without the hardware workload probe (Table 5 ablation)"
+            }
             Mode::TaiChiVdp => "type-1-like: data plane inside vCPUs (§6.3)",
             Mode::Type2 => "QEMU+KVM-like: CP in a guest OS, 1 DP CPU lost to emulation",
         };
@@ -367,8 +374,21 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let o = parse(&[
-            "--mode", "type2", "--seed", "7", "--util", "0.5", "--smooth", "--cp", "3",
-            "--until", "250", "--density", "2", "--vms", "6",
+            "--mode",
+            "type2",
+            "--seed",
+            "7",
+            "--util",
+            "0.5",
+            "--smooth",
+            "--cp",
+            "3",
+            "--until",
+            "250",
+            "--density",
+            "2",
+            "--vms",
+            "6",
         ])
         .expect("valid flags parse");
         assert_eq!(o.mode, Mode::Type2);

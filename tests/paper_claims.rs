@@ -30,12 +30,14 @@ fn bursty_30pct() -> TrafficGen {
 #[test]
 fn claim_cp_speedup_at_32_tasks() {
     let mut results = Vec::new();
+    let mut dumps = Vec::new();
     for mode in [Mode::Baseline, Mode::TaiChi] {
         let cfg = MachineConfig {
             seed: 0xC1A1,
             ..MachineConfig::default()
         };
         let mut m = Machine::new(cfg, mode);
+        dumps.extend(m.failure_dump(&format!("claim_cp_speedup_{mode}")));
         m.add_traffic(bursty_30pct());
         // Production CP background, as on the paper's nodes.
         let factory = TaskFactory::default();
@@ -81,12 +83,14 @@ fn claim_cp_speedup_at_32_tasks() {
 #[test]
 fn claim_dp_overhead_below_two_percent() {
     let mut means = Vec::new();
+    let mut dumps = Vec::new();
     for mode in [Mode::Baseline, Mode::TaiChi] {
         let cfg = MachineConfig {
             seed: 0xD9,
             ..MachineConfig::default()
         };
         let mut m = Machine::new(cfg, mode);
+        dumps.extend(m.failure_dump(&format!("claim_dp_overhead_{mode}")));
         m.add_traffic(bursty_30pct());
         let synth = SynthCp::default();
         let mut rng = Rng::new(3);
@@ -150,26 +154,25 @@ fn claim_hybrid_beats_type1_and_type2() {
 fn claim_vm_startup_improves_at_density() {
     use taichi::cp::VmCreateRequest;
     let mut means = Vec::new();
+    let mut dumps = Vec::new();
     for mode in [Mode::Baseline, Mode::TaiChi] {
         let cfg = MachineConfig {
             seed: 0xBEEF,
             ..MachineConfig::default()
         };
         let mut m = Machine::new(cfg, mode);
+        dumps.extend(m.failure_dump(&format!("claim_vm_startup_{mode}")));
         m.add_traffic(bursty_30pct());
         let factory = TaskFactory::default();
         for i in 0..4 {
-            let mut req =
-                VmCreateRequest::at_density(i, 4, SimTime::from_millis(i * 5));
+            let mut req = VmCreateRequest::at_density(i, 4, SimTime::from_millis(i * 5));
             req.qemu_boot = SimDuration::from_millis(10);
             m.schedule_vm_create(req, &factory);
         }
         m.run_until(SimTime::from_secs(10));
         let s = m.vm_startup_times();
         assert_eq!(s.len(), 4, "{mode}: all VMs started");
-        means.push(
-            s.iter().map(|d| d.as_millis_f64()).sum::<f64>() / s.len() as f64,
-        );
+        means.push(s.iter().map(|d| d.as_millis_f64()).sum::<f64>() / s.len() as f64);
     }
     let reduction = means[0] / means[1];
     assert!(

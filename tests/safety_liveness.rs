@@ -9,7 +9,7 @@ use taichi::cp::TaskFactory;
 use taichi::dp::{ArrivalPattern, TrafficGen};
 use taichi::hw::{CpuId, IoKind, SmartNicSpec};
 use taichi::os::{LockId, Program};
-use taichi::sim::{Dist, Rng, SimDuration, SimTime};
+use taichi::sim::{Dist, Rng, SimTime};
 
 fn bursty(dp_cpus: u32) -> TrafficGen {
     TrafficGen::new(
