@@ -1,0 +1,135 @@
+//! Simulation-engine throughput benchmark: events/sec and ns/event
+//! for the engine primitives and for full-machine runs.
+//!
+//! Complements the `scheduler_hot_paths` micro-bench (which prints to
+//! stdout only) by persisting a machine-readable report as
+//! `target/experiments/BENCH_engine.json`, so CI and before/after
+//! comparisons can diff engine throughput across commits. Uses the
+//! in-repo timing loops ([`taichi_bench::bench_ns`] /
+//! [`taichi_bench::bench_coarse_ms`]) so the workspace builds offline.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+use taichi_bench::{bench_coarse_ms, bench_ns, results_dir};
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::MachineConfig;
+use taichi_cp::SynthCp;
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_os::{ActionBuf, CpuSet, Kernel, KernelConfig, Program};
+use taichi_sim::{Dist, EventQueue, Rng, SimDuration, SimTime};
+
+/// The same representative machine as the `machine_throughput` bench:
+/// bursty 8-CPU network traffic plus an 8-task synth_cp batch.
+fn build(mode: Mode) -> Machine {
+    let mut m = Machine::new(MachineConfig::default(), mode);
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(0.21),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..8).map(CpuId).collect(),
+    ));
+    let synth = SynthCp::default();
+    let mut rng = Rng::new(1);
+    m.schedule_cp_batch(synth.workload(8, &mut rng), SimTime::ZERO);
+    m
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"primitives\": {\n");
+
+    // Event-queue fast path: steady-state schedule+pop (the slab and
+    // free list reach a fixed point, so this is allocation-free).
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    let push_pop = bench_ns(|| {
+        t += 100;
+        q.schedule(SimTime::from_nanos(t), t);
+        black_box(q.pop())
+    });
+    println!("event_queue_push_pop            {push_pop:>12.1} ns/iter");
+
+    // Cancellation path: schedule two, cancel one, pop the survivor —
+    // exercises the generation stamp + lazy discard machinery.
+    let mut q2: EventQueue<u64> = EventQueue::new();
+    let mut t2 = 0u64;
+    let push_cancel_pop = bench_ns(|| {
+        t2 += 100;
+        let tok = q2.schedule(SimTime::from_nanos(t2), t2);
+        q2.schedule(SimTime::from_nanos(t2 + 1), t2);
+        q2.cancel(tok);
+        black_box(q2.pop())
+    });
+    println!("event_queue_push_cancel_pop     {push_cancel_pop:>12.1} ns/iter");
+
+    // Kernel decision hot loop with the out-parameter scratch buffer:
+    // two effectively endless compute threads share one CPU, and every
+    // iteration takes the next scheduling decision (a time-slice
+    // rotation — dispatch + preempt through the ActionBuf, exactly the
+    // path `Machine::on_kernel_decide` drives per decision event).
+    let cp: Vec<CpuId> = (0..4).map(CpuId).collect();
+    let mut kernel = Kernel::new(KernelConfig::default(), &cp);
+    let mut buf = ActionBuf::new();
+    for _ in 0..2 {
+        let prog = Program::new().compute(SimDuration::from_secs(10_000_000));
+        buf.clear();
+        kernel.spawn(prog, CpuSet::single(CpuId(0)), SimTime::ZERO, &mut buf);
+    }
+    let mut now = SimTime::ZERO;
+    let decide_rotate = bench_ns(|| {
+        buf.clear();
+        if let Some(t) = kernel.next_decision_time(CpuId(0), now) {
+            now = t;
+        }
+        kernel.decide(CpuId(0), now, &mut buf);
+        black_box(buf.len())
+    });
+    println!("kernel_decide_rotate            {decide_rotate:>12.1} ns/iter");
+
+    let _ = write!(
+        json,
+        "    \"event_queue_push_pop_ns\": {push_pop:.1},\n    \
+         \"event_queue_push_cancel_pop_ns\": {push_cancel_pop:.1},\n    \
+         \"kernel_decide_rotate_ns\": {decide_rotate:.1}\n  }},\n  \"machine\": {{\n"
+    );
+
+    // Full-machine throughput per scheduling mode: wall-clock per 20 ms
+    // of simulated time, and engine events/sec from the machine's own
+    // processed-event counter.
+    let modes = [Mode::Baseline, Mode::TaiChi, Mode::Type2];
+    for (i, mode) in modes.into_iter().enumerate() {
+        let ms = bench_coarse_ms(10, || {
+            let mut m = build(mode);
+            m.run_until(SimTime::from_millis(20));
+            black_box(m.kernel().finished_count())
+        });
+        let mut m = build(mode);
+        m.run_until(SimTime::from_millis(20));
+        let events = m.events_processed();
+        let ns_per_event = ms * 1e6 / events as f64;
+        let events_per_sec = events as f64 / (ms / 1e3);
+        println!(
+            "simulate_20ms/{mode:<18} {ms:>12.2} ms/iter  {events} events  \
+             {ns_per_event:.0} ns/event  {events_per_sec:.0} events/sec"
+        );
+        let _ = writeln!(
+            json,
+            "    \"{mode}\": {{ \"ms_per_20ms_sim\": {ms:.2}, \"events\": {events}, \
+             \"ns_per_event\": {ns_per_event:.1}, \"events_per_sec\": {events_per_sec:.0} }}{}",
+            if i + 1 == modes.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    let path = results_dir().join("BENCH_engine.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[json] {}", path.display());
+    }
+}

@@ -89,17 +89,30 @@ fn cp_turnaround(cfg: MachineConfig, mode: Mode) -> f64 {
 
 fn main() {
     init_trace();
-    // Peak IOPS: baseline 8 DP CPUs vs boosted 10 DP CPUs under Tai Chi.
-    let iops_base = peak(default_cfg(), Mode::Baseline, IoKind::Storage, 4096.0);
-    let iops_boost = peak(boosted_cfg(), Mode::TaiChi, IoKind::Storage, 4096.0);
-    // Peak CPS (tcp_crr).
-    let pps_base = peak(default_cfg(), Mode::Baseline, IoKind::Network, 256.0);
-    let pps_boost = peak(boosted_cfg(), Mode::TaiChi, IoKind::Network, 256.0);
+    // The four peak-throughput machine runs are independent: fan them
+    // out across workers (baseline 8 DP CPUs vs boosted 10 under
+    // Tai Chi, storage IOPS then network CPS).
+    let peaks = taichi_bench::sweep(
+        vec![
+            (default_cfg(), Mode::Baseline, IoKind::Storage, 4096.0),
+            (boosted_cfg(), Mode::TaiChi, IoKind::Storage, 4096.0),
+            (default_cfg(), Mode::Baseline, IoKind::Network, 256.0),
+            (boosted_cfg(), Mode::TaiChi, IoKind::Network, 256.0),
+        ],
+        |(cfg, mode, kind, size)| peak(cfg, mode, kind, size),
+    );
+    let [iops_base, iops_boost, pps_base, pps_boost] = <[_; 4]>::try_from(peaks).unwrap();
     let cps_base = pps_base / TCP_CRR_PKTS;
     let cps_boost = pps_boost / TCP_CRR_PKTS;
     // CP consistency under light load.
-    let cp_base = cp_turnaround(default_cfg(), Mode::Baseline);
-    let cp_boost = cp_turnaround(boosted_cfg(), Mode::TaiChi);
+    let cps = taichi_bench::sweep(
+        vec![
+            (default_cfg(), Mode::Baseline),
+            (boosted_cfg(), Mode::TaiChi),
+        ],
+        |(cfg, mode)| cp_turnaround(cfg, mode),
+    );
+    let [cp_base, cp_boost] = <[_; 2]>::try_from(cps).unwrap();
 
     let mut t = Table::new(
         "Discussion (8): reallocating 50% of CP pCPUs to the data plane",

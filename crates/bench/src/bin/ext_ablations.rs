@@ -78,20 +78,28 @@ fn run(taichi: TaiChiConfig) -> Outcome {
 
 fn main() {
     init_trace();
-    let stock = run(TaiChiConfig::default());
-    let pipeline = run(TaiChiConfig {
-        pipeline_aware_yield: true,
-        ..TaiChiConfig::default()
-    });
-    let isolation = run(TaiChiConfig {
-        cache_isolation: true,
-        ..TaiChiConfig::default()
-    });
-    let both = run(TaiChiConfig {
-        pipeline_aware_yield: true,
-        cache_isolation: true,
-        ..TaiChiConfig::default()
-    });
+    // The four ablation configs are independent machine runs: fan
+    // them out across workers, results in input order.
+    let runs = taichi_bench::sweep(
+        vec![
+            TaiChiConfig::default(),
+            TaiChiConfig {
+                pipeline_aware_yield: true,
+                ..TaiChiConfig::default()
+            },
+            TaiChiConfig {
+                cache_isolation: true,
+                ..TaiChiConfig::default()
+            },
+            TaiChiConfig {
+                pipeline_aware_yield: true,
+                cache_isolation: true,
+                ..TaiChiConfig::default()
+            },
+        ],
+        run,
+    );
+    let [stock, pipeline, isolation, both] = <[_; 4]>::try_from(runs).ok().unwrap();
 
     let mut t = Table::new(
         "Future-work ablations (§9): pipeline-aware yield + cache isolation",

@@ -90,9 +90,17 @@ fn main() {
         &["concurrency", "baseline (ms)", "taichi (ms)", "speedup"],
     );
     let mut last_speedup = 0.0;
-    for &n in &[1u32, 2, 4, 8, 16, 32] {
-        let base = run(Mode::Baseline, n);
-        let taichi = run(Mode::TaiChi, n);
+    // 6 concurrencies x 2 modes = 12 independent machine runs; fan
+    // them all out and pair baseline/taichi back up per concurrency.
+    let concurrencies = [1u32, 2, 4, 8, 16, 32];
+    let jobs: Vec<(Mode, u32)> = concurrencies
+        .iter()
+        .flat_map(|&n| [(Mode::Baseline, n), (Mode::TaiChi, n)])
+        .collect();
+    let mut results = taichi_bench::sweep(jobs, |(m, n)| run(m, n)).into_iter();
+    for n in concurrencies {
+        let base = results.next().unwrap();
+        let taichi = results.next().unwrap();
         last_speedup = base / taichi;
         t.row(&[
             n.to_string(),

@@ -2,7 +2,7 @@
 //!
 //! Paper results: Tai Chi −0.06 %, Tai Chi-vDP ≈ −6 %, type-2 ≈ −25.7 %.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::fio::FioRw;
@@ -11,7 +11,8 @@ fn main() {
     taichi_bench::init_trace();
     let fio = FioRw::default();
     let modes = [Mode::Baseline, Mode::TaiChi, Mode::TaiChiVdp, Mode::Type2];
-    let results: Vec<_> = modes.iter().map(|&m| (m, fio.run(m, seed()))).collect();
+    let s = seed();
+    let results = sweep(modes.to_vec(), |m| (m, fio.run(m, s)));
     let base = results[0].1.iops;
 
     let mut t = Table::new(

@@ -3,7 +3,7 @@
 //!
 //! Paper: 0.6 % average overhead, worst 1.92 % (tcp_stream avg_tx_pps).
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{pct, Table};
 use taichi_workloads::netperf::{self, NetperfCase};
@@ -28,13 +28,24 @@ fn main() {
         norm
     };
 
-    for (case, name) in [
+    let s = seed();
+    let cases = [
         (NetperfCase::UdpStream, "udp_stream"),
         (NetperfCase::TcpStream, "tcp_stream"),
         (NetperfCase::TcpRr, "tcp_rr"),
-    ] {
-        let b = netperf::run(case, Mode::Baseline, seed());
-        let x = netperf::run(case, Mode::TaiChi, seed());
+    ];
+    // All (case, mode) machine runs are independent: fan the six out
+    // across workers; results come back in input order (baseline and
+    // taichi adjacent per case) so rows render exactly as serially.
+    let jobs: Vec<(NetperfCase, Mode)> = cases
+        .iter()
+        .flat_map(|&(c, _)| [(c, Mode::Baseline), (c, Mode::TaiChi)])
+        .collect();
+    let mut net = sweep(jobs, |(c, m)| netperf::run(c, m, s)).into_iter();
+
+    for (case, name) in cases {
+        let b = net.next().unwrap();
+        let x = net.next().unwrap();
         if case == NetperfCase::UdpStream {
             let n = push(
                 &mut t,
@@ -52,8 +63,10 @@ fn main() {
         }
     }
 
-    let bt = sockperf::run_tcp(Mode::Baseline, seed());
-    let xt = sockperf::run_tcp(Mode::TaiChi, seed());
+    let tcp = sweep(vec![Mode::Baseline, Mode::TaiChi], |m| {
+        sockperf::run_tcp(m, s)
+    });
+    let [bt, xt] = <[_; 2]>::try_from(tcp).ok().unwrap();
     let n = push(&mut t, "sockperf_tcp", "CPS", bt.cps, xt.cps);
     overheads.push(1.0 - n);
     let n = push(
@@ -65,8 +78,10 @@ fn main() {
     );
     overheads.push(1.0 - n);
 
-    let bu = sockperf::run_udp(Mode::Baseline, seed());
-    let xu = sockperf::run_udp(Mode::TaiChi, seed());
+    let udp = sweep(vec![Mode::Baseline, Mode::TaiChi], |m| {
+        sockperf::run_udp(m, s)
+    });
+    let [bu, xu] = <[_; 2]>::try_from(udp).ok().unwrap();
     // Latency metrics are inverted (lower is better): normalize as
     // baseline/taichi so <1.0 still means overhead.
     for (metric, b, x) in [

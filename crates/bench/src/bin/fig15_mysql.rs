@@ -3,15 +3,16 @@
 //! Paper: 1.56 % average overhead, peaking at 1.63 % on average query
 //! throughput.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::mysql;
 
 fn main() {
     taichi_bench::init_trace();
-    let base = mysql::run(Mode::Baseline, seed());
-    let taichi = mysql::run(Mode::TaiChi, seed());
+    let s = seed();
+    let runs = sweep(vec![Mode::Baseline, Mode::TaiChi], |m| mysql::run(m, s));
+    let [base, taichi] = <[_; 2]>::try_from(runs).ok().unwrap();
 
     let mut t = Table::new(
         "Figure 15: MySQL throughput (192 sysbench threads)",

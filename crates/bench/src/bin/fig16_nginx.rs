@@ -3,15 +3,16 @@
 //!
 //! Paper: 0.51 % average overhead, up to 1 % for short connections.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{grouped, pct, Table};
 use taichi_workloads::nginx;
 
 fn main() {
     taichi_bench::init_trace();
-    let base = nginx::run(Mode::Baseline, seed());
-    let taichi = nginx::run(Mode::TaiChi, seed());
+    let s = seed();
+    let runs = sweep(vec![Mode::Baseline, Mode::TaiChi], |m| nginx::run(m, s));
+    let [base, taichi] = <[_; 2]>::try_from(runs).ok().unwrap();
 
     let mut t = Table::new(
         "Figure 16: Nginx avg requests/second (10k connections)",

@@ -67,9 +67,15 @@ fn main() {
         &["density", "baseline (ms)", "taichi (ms)", "reduction"],
     );
     let mut last_ratio = 0.0;
+    // 4 densities x 2 modes = 8 independent machine runs fanned out
+    // across workers; pairs come back adjacent, in density order.
+    let jobs: Vec<(Mode, u32)> = (1..=4u32)
+        .flat_map(|d| [(Mode::Baseline, d), (Mode::TaiChi, d)])
+        .collect();
+    let mut results = taichi_bench::sweep(jobs, |(m, d)| run(m, d)).into_iter();
     for d in 1..=4u32 {
-        let base = run(Mode::Baseline, d);
-        let taichi = run(Mode::TaiChi, d);
+        let base = results.next().unwrap();
+        let taichi = results.next().unwrap();
         last_ratio = base / taichi;
         t.row(&[
             format!("{d}x"),

@@ -77,10 +77,9 @@ fn run_density(density: u32) -> (f64, f64) {
 
 fn main() {
     init_trace();
-    let mut rows = Vec::new();
-    for d in 1..=4u32 {
-        rows.push((d, run_density(d)));
-    }
+    // Each density is an independent machine run: fan the four out
+    // across workers; results return in density order.
+    let rows = taichi_bench::sweep((1..=4u32).collect(), |d| (d, run_density(d)));
     let (base_vm, base_cp) = rows[0].1;
     // The paper normalizes VM startup to its SLO target; production
     // SLOs leave ~25 % headroom at normal density (Fig. 2 shows the

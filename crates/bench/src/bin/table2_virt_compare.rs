@@ -5,7 +5,7 @@
 //! virtualization tax the paper attributes to type-1), the type-2
 //! column the QEMU+KVM model, and the last the full hybrid design.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{pct, Table};
 use taichi_workloads::fio::FioRw;
@@ -13,10 +13,15 @@ use taichi_workloads::fio::FioRw;
 fn main() {
     taichi_bench::init_trace();
     let fio = FioRw::default();
-    let base = fio.run(Mode::Baseline, seed());
-    let t1 = fio.run(Mode::TaiChiVdp, seed());
-    let t2 = fio.run(Mode::Type2, seed());
-    let tc = fio.run(Mode::TaiChi, seed());
+    let s = seed();
+    // Independent (mode, seed) machine runs fan out across workers;
+    // results come back in input order, so the table is byte-identical
+    // to a serial run (TAICHI_WORKERS=1 forces the reference path).
+    let runs = sweep(
+        vec![Mode::Baseline, Mode::TaiChiVdp, Mode::Type2, Mode::TaiChi],
+        |m| fio.run(m, s),
+    );
+    let [base, t1, t2, tc] = <[_; 4]>::try_from(runs).ok().unwrap();
     let loss = |x: f64| pct((x - base.iops) / base.iops);
 
     let mut t = Table::new(

@@ -6,7 +6,7 @@
 //! +203 % max, +80 % mdev — the un-hidden 50 µs-scale vCPU slices show
 //! up directly in the tail.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, seed, sweep};
 use taichi_core::machine::Mode;
 use taichi_sim::report::{pct, Table};
 use taichi_workloads::ping;
@@ -18,10 +18,8 @@ fn main() {
         ("Tai Chi", Mode::TaiChi),
         ("Tai Chi w/o HW probe", Mode::TaiChiNoHwProbe),
     ];
-    let results: Vec<_> = modes
-        .iter()
-        .map(|&(name, m)| (name, ping::run(m, seed())))
-        .collect();
+    let s = seed();
+    let results = sweep(modes.to_vec(), |(name, m)| (name, ping::run(m, s)));
 
     let mut t = Table::new(
         "Table 5: RTT across three mechanisms",

@@ -30,12 +30,33 @@ pub fn emit(name: &str, table: &Table) {
 
 /// Standard seed used by all experiment binaries (override with the
 /// `TAICHI_SEED` environment variable).
+///
+/// A `TAICHI_SEED` value that fails to parse falls back to the default
+/// with a warning to stderr — silently ignoring a typoed seed would
+/// make a "reproduction" run un-reproducible.
 pub fn seed() -> u64 {
-    std::env::var("TAICHI_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xD1CE)
+    match std::env::var("TAICHI_SEED") {
+        Ok(s) => match s.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!(
+                    "warning: TAICHI_SEED={s:?} is not a valid u64 seed; \
+                     using default 0xD1CE"
+                );
+                0xD1CE
+            }
+        },
+        Err(_) => 0xD1CE,
+    }
 }
+
+/// Re-exported deterministic parallel sweep primitives (see
+/// [`taichi_sim::par`]): experiment binaries fan independent
+/// `(mode, seed)` machine runs across workers with [`sweep`] and get
+/// results back in input order, so their tables and CSVs are
+/// byte-identical to a serial run. `TAICHI_WORKERS` overrides the
+/// worker count (`TAICHI_WORKERS=1` forces the serial reference path).
+pub use taichi_sim::par::{default_workers, sweep, sweep_with};
 
 /// True when `--trace` was passed to the experiment binary (or the
 /// `TAICHI_TRACE` environment variable is set): binaries then enable
@@ -112,6 +133,40 @@ pub fn bench_coarse<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
     }
     let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
     println!("{name:<32} {per:>12.2} ms/iter ({iters} iters)");
+}
+
+/// [`bench`]'s measurement loop without the printing: returns ns/iter
+/// (used by `bench_engine` to assemble its JSON report).
+pub fn bench_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+    const WARMUP: u32 = 1_000;
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut iters = 0u64;
+    let mut batch = 1_000u64;
+    let start = std::time::Instant::now();
+    loop {
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        iters += batch;
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        batch = batch.saturating_mul(2);
+    }
+}
+
+/// [`bench_coarse`]'s measurement loop without the printing: returns
+/// ms/iter over a fixed iteration count.
+pub fn bench_coarse_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f()); // warmup
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
 #[cfg(test)]

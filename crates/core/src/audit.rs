@@ -21,7 +21,7 @@
 
 use crate::orchestrator::IpiOrchestrator;
 use taichi_hw::CpuId;
-use taichi_os::{CpuSet, Kernel, KernelAction, Segment, ThreadId};
+use taichi_os::{ActionBuf, CpuSet, Kernel, Segment, ThreadId};
 use taichi_sim::{SimDuration, SimTime};
 
 /// What an audit session observed.
@@ -53,33 +53,31 @@ impl AuditSession {
     /// Opens an audit session: registers a dedicated auditing vCPU and
     /// migrates `target` onto it.
     ///
-    /// Returns the session plus the kernel actions the driver must
-    /// apply (migration rearms). The migration itself honours
-    /// non-preemptible sections — the thread enters the audit domain
-    /// at its next scheduling point.
+    /// The kernel actions the driver must apply (migration rearms)
+    /// land in `out`. The migration itself honours non-preemptible
+    /// sections — the thread enters the audit domain at its next
+    /// scheduling point.
     pub fn begin(
         kernel: &mut Kernel,
         orchestrator: &mut IpiOrchestrator,
         target: ThreadId,
         now: SimTime,
-    ) -> (AuditSession, Vec<KernelAction>) {
+        out: &mut ActionBuf,
+    ) -> AuditSession {
         let ids = orchestrator.register_vcpus(kernel, 1, now);
         let audit_cpu = ids[0];
         let original_affinity = kernel.thread_info(target).affinity;
         let pc_at_start = kernel.thread_info(target).pc;
         let cpu_time_at_start = kernel.thread_info(target).cpu_time;
-        let acts = kernel.set_affinity(target, CpuSet::single(audit_cpu), now);
-        (
-            AuditSession {
-                target,
-                audit_cpu,
-                original_affinity,
-                started_at: now,
-                pc_at_start,
-                cpu_time_at_start,
-            },
-            acts,
-        )
+        kernel.set_affinity(target, CpuSet::single(audit_cpu), now, out);
+        AuditSession {
+            target,
+            audit_cpu,
+            original_affinity,
+            started_at: now,
+            pc_at_start,
+            cpu_time_at_start,
+        }
     }
 
     /// The dedicated auditing vCPU's kernel CPU ID.
@@ -93,8 +91,9 @@ impl AuditSession {
     }
 
     /// Closes the session: restores the original affinity, offlines
-    /// the auditing vCPU (once idle) and returns the report.
-    pub fn end(self, kernel: &mut Kernel, now: SimTime) -> (AuditReport, Vec<KernelAction>) {
+    /// the auditing vCPU (once idle) and returns the report. Driver
+    /// actions land in `out`.
+    pub fn end(self, kernel: &mut Kernel, now: SimTime, out: &mut ActionBuf) -> AuditReport {
         let t = kernel.thread_info(self.target);
         let pc_now = t.pc;
         let program = t.program.clone();
@@ -120,20 +119,19 @@ impl AuditSession {
             audited_cpu_time: cpu_time_now.saturating_sub(self.cpu_time_at_start),
             session_length: now.saturating_since(self.started_at),
         };
-        let mut acts = kernel.set_affinity(self.target, self.original_affinity, now);
+        kernel.set_affinity(self.target, self.original_affinity, now, out);
         // Tear the audit vCPU down once nothing runs on it; a busy
         // audit CPU (the thread is mid-section) simply stays online
         // until the deferred migration completes — callers may retry.
-        let (_, off_acts) = kernel.offline_cpu(self.audit_cpu, now);
-        acts.extend(off_acts);
-        (report, acts)
+        let _ = kernel.offline_cpu(self.audit_cpu, now, out);
+        report
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taichi_os::{KernelConfig, Program, ThreadState};
+    use taichi_os::{KernelAction, KernelConfig, Program, ThreadState};
     use taichi_sim::EventQueue;
 
     /// A persistent driver: pending wake timers survive across
@@ -151,8 +149,8 @@ mod tests {
             }
         }
 
-        fn absorb(&mut self, acts: Vec<KernelAction>) {
-            for a in acts {
+        fn absorb(&mut self, acts: &ActionBuf) {
+            for a in acts.iter() {
                 if let KernelAction::ArmWakeup { tid, at } = a {
                     self.wakes.push((tid, at));
                 }
@@ -178,17 +176,19 @@ mod tests {
             for cpu in kernel.known_cpus() {
                 arm(kernel, &mut q, cpu, self.now);
             }
+            let mut acts = ActionBuf::new();
             while let Some(t) = q.peek_time() {
                 if t > until {
                     break;
                 }
                 let (t, ev) = q.pop().expect("peeked");
                 self.now = t;
-                let acts = match ev {
-                    Ev::Decide(cpu) => kernel.decide(cpu, t),
-                    Ev::Wake(tid) => kernel.wakeup(tid, t),
+                acts.clear();
+                match ev {
+                    Ev::Decide(cpu) => kernel.decide(cpu, t, &mut acts),
+                    Ev::Wake(tid) => kernel.wakeup(tid, t, &mut acts),
                 };
-                for a in acts {
+                for a in acts.iter() {
                     match a {
                         KernelAction::ArmWakeup { tid, at } => {
                             q.schedule(at, Ev::Wake(tid));
@@ -208,7 +208,7 @@ mod tests {
         }
     }
 
-    fn drive(kernel: &mut Kernel, pending: Vec<KernelAction>, until: SimTime) {
+    fn drive(kernel: &mut Kernel, pending: &ActionBuf, until: SimTime) {
         let mut h = Harness::new();
         h.absorb(pending);
         h.run_until(kernel, until);
@@ -231,15 +231,14 @@ mod tests {
             .critical(SimDuration::from_micros(300))
             .syscall(SimDuration::from_micros(100))
             .compute(SimDuration::from_micros(200));
-        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        let mut pending = ActionBuf::new();
+        let tid = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO, &mut pending);
         // Begin auditing immediately: the whole program runs audited.
-        let (session, mut a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
-        let mut pending = acts;
-        pending.append(&mut a2);
-        drive(&mut k, pending, SimTime::from_secs(1));
+        let session = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO, &mut pending);
+        drive(&mut k, &pending, SimTime::from_secs(1));
         assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
         let end = SimTime::from_secs(1);
-        let (report, _) = session.end(&mut k, end);
+        let report = session.end(&mut k, end, &mut ActionBuf::new());
         assert_eq!(report.segments_retired, 5);
         assert_eq!(report.kernel_entries, 3, "2 syscalls + 1 routine");
         assert_eq!(report.audited_cpu_time, SimDuration::from_micros(900));
@@ -250,11 +249,10 @@ mod tests {
     fn audited_thread_runs_only_on_audit_cpu() {
         let (mut k, mut orch) = setup();
         let p = Program::new().compute(SimDuration::from_millis(2));
-        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
-        let (session, mut a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
-        let mut pending = acts;
-        pending.append(&mut a2);
-        drive(&mut k, pending, SimTime::from_secs(1));
+        let mut pending = ActionBuf::new();
+        let tid = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO, &mut pending);
+        let session = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO, &mut pending);
+        drive(&mut k, &pending, SimTime::from_secs(1));
         // The audit CPU did the work: its utilization is non-zero and
         // the thread finished there.
         let u = k.cpu_utilization(session.audit_cpu(), SimTime::from_millis(4));
@@ -269,15 +267,16 @@ mod tests {
             .compute(SimDuration::from_micros(100))
             .sleep(SimDuration::from_millis(50))
             .compute(SimDuration::from_micros(100));
-        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
-        let (session, a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO);
+        let mut pending = ActionBuf::new();
+        let tid = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO, &mut pending);
+        let session = AuditSession::begin(&mut k, &mut orch, tid, SimTime::ZERO, &mut pending);
         let mut h = Harness::new();
-        h.absorb(acts);
-        h.absorb(a2);
+        h.absorb(&pending);
         // Run until the thread parks in its sleep (audit CPU drains).
         h.run_until(&mut k, SimTime::from_millis(10));
         let audit_cpu = session.audit_cpu();
-        let (report, acts) = session.end(&mut k, SimTime::from_millis(10));
+        let mut end_acts = ActionBuf::new();
+        let report = session.end(&mut k, SimTime::from_millis(10), &mut end_acts);
         assert_eq!(report.segments_retired, 2, "compute + sleep retired");
         assert_eq!(
             k.thread_info(tid).affinity,
@@ -290,7 +289,7 @@ mod tests {
             "audit vCPU torn down"
         );
         // The thread still completes on its original CPUs.
-        h.absorb(acts);
+        h.absorb(&end_acts);
         h.run_until(&mut k, SimTime::from_secs(1));
         assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
     }
@@ -302,15 +301,18 @@ mod tests {
             .compute(SimDuration::from_millis(1))
             .syscall(SimDuration::from_millis(1))
             .compute(SimDuration::from_millis(1));
-        let (tid, acts) = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO);
+        let mut pending = ActionBuf::new();
+        let tid = k.spawn(p, CpuSet::range(8, 12), SimTime::ZERO, &mut pending);
         // Let the first segment mostly run un-audited.
         let mut h = Harness::new();
-        h.absorb(acts);
+        h.absorb(&pending);
         h.run_until(&mut k, SimTime::from_micros(500));
-        let (session, a2) = AuditSession::begin(&mut k, &mut orch, tid, SimTime::from_micros(500));
-        h.absorb(a2);
+        let mut a2 = ActionBuf::new();
+        let session =
+            AuditSession::begin(&mut k, &mut orch, tid, SimTime::from_micros(500), &mut a2);
+        h.absorb(&a2);
         h.run_until(&mut k, SimTime::from_secs(1));
-        let (report, _) = session.end(&mut k, SimTime::from_secs(1));
+        let report = session.end(&mut k, SimTime::from_secs(1), &mut ActionBuf::new());
         // Everything after the audit began is attributed to it.
         assert!(report.audited_cpu_time >= SimDuration::from_millis(2));
         assert!(report.kernel_entries >= 1);

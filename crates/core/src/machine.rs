@@ -36,7 +36,7 @@ use crate::vcpu_sched::VcpuScheduler;
 use taichi_cp::{TaskFactory, VmCreateRequest, VmStartupTracker};
 use taichi_dp::{DpService, TrafficGen};
 use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, Packet};
-use taichi_os::{CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
+use taichi_os::{ActionBuf, CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
 use taichi_sim::trace::FailureDump;
 use taichi_sim::{EventQueue, Rng, SimDuration, SimTime, TraceKind, Tracer};
 use taichi_virt::{VcpuState, VmExitReason};
@@ -168,7 +168,17 @@ pub struct Machine {
     gen_rngs: Vec<Rng>,
     pending_packet: Vec<Option<Packet>>,
 
-    kernel_gen: HashMap<CpuId, u64>,
+    /// Per-CPU decision-timer generation, indexed by `CpuId::index()`
+    /// (dense — the hot loop must not hash).
+    kernel_gen: Vec<u64>,
+    /// Reusable scratch buffer for kernel calls (taken/restored around
+    /// each call so reentrant action handling gets a fresh default).
+    scratch: ActionBuf,
+    /// True when kernel or vCPU-occupancy state changed since the last
+    /// [`Machine::fill_idle_cp_hosts`] pass. Pure packet events leave
+    /// it clear, so the majority of events skip the CP-host scan.
+    cp_fill_dirty: bool,
+    events_processed: u64,
     dp_idle_gen: Vec<u64>,
     dp_busy: Vec<bool>,
     /// Packets ingested into the accelerator but not yet delivered,
@@ -226,9 +236,12 @@ impl Machine {
             0
         };
         let vcpu_ids = orchestrator.register_vcpus(&mut kernel, num_vcpus, SimTime::ZERO);
+        let mut boot_acts = ActionBuf::new();
         for &v in &vcpu_ids {
-            // vCPUs start with no physical time.
-            kernel.pause_cpu(v, SimTime::ZERO);
+            // vCPUs start with no physical time. Boot-time actions are
+            // moot: the event loop re-arms every CPU on bootstrap.
+            kernel.pause_cpu(v, SimTime::ZERO, &mut boot_acts);
+            boot_acts.clear();
         }
         let vsched = VcpuScheduler::new(&vcpu_ids, spec.num_cpus);
 
@@ -304,7 +317,10 @@ impl Machine {
             generators: Vec::new(),
             gen_rngs: Vec::new(),
             pending_packet: Vec::new(),
-            kernel_gen: HashMap::new(),
+            kernel_gen: Vec::new(),
+            scratch: ActionBuf::new(),
+            cp_fill_dirty: true,
+            events_processed: 0,
             dp_idle_gen: vec![0; dp_count as usize],
             dp_busy: vec![false; dp_count as usize],
             dp_inflight: vec![0; dp_count as usize],
@@ -369,9 +385,8 @@ impl Machine {
     /// Spawns one CP task now with the mode's default CP affinity.
     pub fn spawn_cp_now(&mut self, program: Program) -> ThreadId {
         let program = self.maybe_transform(program);
-        let (tid, acts) = self.kernel.spawn(program, self.cp_affinity, self.now);
-        self.apply_kernel_actions(acts);
-        tid
+        let aff = self.cp_affinity;
+        self.with_kernel(|k, now, out| k.spawn(program, aff, now, out))
     }
 
     /// Schedules a batch of CP tasks to spawn at `at`; returns a batch
@@ -446,6 +461,7 @@ impl Machine {
             }
             let (at, ev) = self.queue.pop().expect("peeked non-empty");
             self.now = at;
+            self.events_processed += 1;
             if let Some(t) = &self.tracer {
                 t.set_time(at);
             }
@@ -482,16 +498,15 @@ impl Machine {
             Event::VcpuExited { idx } => self.on_vcpu_exited(idx),
             Event::KernelDecide { cpu, gen } => self.on_kernel_decide(cpu, gen),
             Event::KernelWake { tid } => {
-                let acts = self.kernel.wakeup(tid, self.now);
-                self.apply_kernel_actions(acts);
+                self.with_kernel(|k, now, out| k.wakeup(tid, now, out));
             }
             Event::VmCreate { request, programs } => self.on_vm_create(request, programs),
             Event::SpawnBatch { programs, batch } => {
                 for p in programs {
                     let p = self.maybe_transform(p);
-                    let (tid, acts) = self.kernel.spawn(p, self.cp_affinity, self.now);
+                    let aff = self.cp_affinity;
+                    let tid = self.with_kernel(|k, now, out| k.spawn(p, aff, now, out));
                     self.batches[batch].push(tid);
-                    self.apply_kernel_actions(acts);
                 }
             }
             Event::UtilSample => {
@@ -504,7 +519,13 @@ impl Machine {
                 }
             }
         }
-        self.fill_idle_cp_hosts();
+        // Only kernel mutations and vCPU exits can free a CP host or
+        // make a vCPU runnable, and all of them set the dirty flag —
+        // pure packet events skip the scan entirely.
+        if self.cp_fill_dirty {
+            self.cp_fill_dirty = false;
+            self.fill_idle_cp_hosts();
+        }
     }
 
     /// Work-conserving vCPU multiplexing over the control plane's own
@@ -705,8 +726,7 @@ impl Machine {
             // Hosting on a CP pCPU (lock-safety fallback): suspend the
             // native kernel context for the duration of the grant.
             self.cp_host_suspended[host.index()] = true;
-            let acts = self.kernel.pause_cpu(host, self.now);
-            self.apply_kernel_actions(acts);
+            self.with_kernel(|k, now, out| k.pause_cpu(host, now, out));
         }
         self.vsched.vcpu_mut(idx).place(host, self.now);
         self.vsched.record_placement(idx, host);
@@ -732,8 +752,7 @@ impl Machine {
             .vcpu_mut(idx)
             .enter_complete(self.now, slice_end);
         let vid = self.orchestrator.vcpu_cpu_id(idx);
-        let acts = self.kernel.resume_cpu(vid, self.now);
-        self.apply_kernel_actions(acts);
+        self.with_kernel(|k, now, out| k.resume_cpu(vid, now, out));
         if self.pending_preempt[idx] {
             self.pending_preempt[idx] = false;
             self.begin_vcpu_exit(idx, VmExitReason::HwProbe);
@@ -771,8 +790,7 @@ impl Machine {
             );
         }
         let vid = self.orchestrator.vcpu_cpu_id(idx);
-        let acts = self.kernel.pause_cpu(vid, self.now);
-        self.apply_kernel_actions(acts);
+        self.with_kernel(|k, now, out| k.pause_cpu(vid, now, out));
         self.vsched.vcpu_mut(idx).begin_exit(reason, self.now);
         self.vcpu_gen[idx] += 1; // invalidate any pending slice timer
                                  // Full switch latency (VM-exit + pCPU context restore): the
@@ -782,6 +800,9 @@ impl Machine {
     }
 
     fn on_vcpu_exited(&mut self, idx: usize) {
+        // The vCPU becomes descheduled (and possibly frees a CP host):
+        // a fill opportunity even when no kernel call follows.
+        self.cp_fill_dirty = true;
         let reason = self.vsched.vcpu_mut(idx).exit_complete(self.now);
         let host = self.grant_host[idx].take().expect("exited vCPU had a host");
         self.vsched.clear_placement(host);
@@ -831,8 +852,7 @@ impl Machine {
             self.start_processing(host);
         } else {
             self.cp_host_suspended[host.index()] = false;
-            let acts = self.kernel.resume_cpu(host, self.now);
-            self.apply_kernel_actions(acts);
+            self.with_kernel(|k, now, out| k.resume_cpu(host, now, out));
         }
 
         // Safe lock-context rescheduling (§4.1).
@@ -887,11 +907,10 @@ impl Machine {
     // ---------------------------------------------------------------
 
     fn on_kernel_decide(&mut self, cpu: CpuId, gen: u64) {
-        if self.kernel_gen.get(&cpu).copied().unwrap_or(0) != gen {
+        if self.kernel_gen.get(cpu.index()).copied().unwrap_or(0) != gen {
             return;
         }
-        let acts = self.kernel.decide(cpu, self.now);
-        self.apply_kernel_actions(acts);
+        self.with_kernel(|k, now, out| k.decide(cpu, now, out));
         // A running vCPU whose guest went idle HLT-exits so the DP
         // core is returned early.
         if let Some(idx) = self.orchestrator.vcpu_index(cpu) {
@@ -904,17 +923,38 @@ impl Machine {
     }
 
     fn rearm_kernel(&mut self, cpu: CpuId) {
-        let gen = self.kernel_gen.entry(cpu).or_insert(0);
-        *gen += 1;
-        let gen = *gen;
+        if cpu.index() >= self.kernel_gen.len() {
+            self.kernel_gen.resize(cpu.index() + 1, 0);
+        }
+        self.kernel_gen[cpu.index()] += 1;
+        let gen = self.kernel_gen[cpu.index()];
         if let Some(t) = self.kernel.next_decision_time(cpu, self.now) {
             self.queue
                 .schedule(t.max(self.now), Event::KernelDecide { cpu, gen });
         }
     }
 
-    fn apply_kernel_actions(&mut self, acts: Vec<KernelAction>) {
-        for a in acts {
+    /// Runs one kernel call with the machine's scratch [`ActionBuf`]
+    /// and applies the resulting actions.
+    ///
+    /// The buffer is *taken* out of `self` for the duration: action
+    /// handling can reenter (`SendIpi` → kick vCPU → `place_vcpu` →
+    /// `pause_cpu`), and each nested frame then takes a fresh default
+    /// buffer — which costs nothing, since an empty `ActionBuf` never
+    /// allocates.
+    fn with_kernel<R>(&mut self, f: impl FnOnce(&mut Kernel, SimTime, &mut ActionBuf) -> R) -> R {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        let r = f(&mut self.kernel, self.now, &mut buf);
+        self.apply_kernel_actions(&buf);
+        buf.clear();
+        self.scratch = buf;
+        self.cp_fill_dirty = true;
+        r
+    }
+
+    fn apply_kernel_actions(&mut self, acts: &ActionBuf) {
+        for a in acts.iter() {
             match a {
                 KernelAction::ArmWakeup { tid, at } => {
                     self.queue
@@ -991,9 +1031,9 @@ impl Machine {
         let mut tids = Vec::with_capacity(programs.len());
         for p in programs {
             let p = self.maybe_transform(p);
-            let (tid, acts) = self.kernel.spawn(p, self.cp_affinity, self.now);
+            let aff = self.cp_affinity;
+            let tid = self.with_kernel(|k, now, out| k.spawn(p, aff, now, out));
             tids.push(tid);
-            self.apply_kernel_actions(acts);
         }
         let tracker_idx = self.trackers.len();
         for &tid in &tids {
@@ -1088,5 +1128,11 @@ impl Machine {
     /// Yields vetoed by the §9 pipeline-occupancy signal.
     pub fn yield_vetoes(&self) -> u64 {
         self.yield_vetoes
+    }
+
+    /// Discrete events processed by [`Machine::run_until`] so far
+    /// (the engine-throughput denominator for `bench_engine`).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 }

@@ -78,12 +78,16 @@ impl IpiOrchestrator {
     /// order.
     pub fn register_vcpus(&mut self, kernel: &mut Kernel, count: u32, now: SimTime) -> Vec<CpuId> {
         let mut ids = Vec::with_capacity(count as usize);
+        // Online actions are moot here: a freshly booted CPU has no
+        // work, and every driver re-arms all known CPUs afterwards.
+        let mut acts = taichi_os::ActionBuf::new();
         for i in 0..count {
             let id = CpuId(self.first_vcpu + i);
             kernel.register_cpu(id, now);
             // Boot handshake: INIT then SIPI, both routed by us.
             kernel.cpu_init(id);
-            kernel.cpu_online(id);
+            kernel.cpu_online(id, &mut acts);
+            acts.clear();
             self.classes.push(CpuClass::Vcpu(i as usize));
             ids.push(id);
         }
@@ -244,21 +248,21 @@ mod tests {
         // The transparency claim: a plain Program binds to a vCPU via
         // standard affinity and completes there once the vCPU gets
         // physical time.
-        use taichi_os::{CpuSet, Program};
+        use taichi_os::{ActionBuf, CpuSet, Program};
         use taichi_sim::SimDuration;
         let mut k = kernel_with_cp_cpus();
         let mut o = IpiOrchestrator::new(12);
         let ids = o.register_vcpus(&mut k, 1, SimTime::ZERO);
         let vid = ids[0];
         // The vCPU starts with no physical time (paused).
-        k.pause_cpu(vid, SimTime::ZERO);
+        k.pause_cpu(vid, SimTime::ZERO, &mut ActionBuf::new());
         let p = Program::new().compute(SimDuration::from_micros(30));
-        let (tid, _) = k.spawn(p, CpuSet::single(vid), SimTime::ZERO);
+        let tid = k.spawn(p, CpuSet::single(vid), SimTime::ZERO, &mut ActionBuf::new());
         assert!(k.cpu_has_work(vid));
         // Grant physical time.
-        k.resume_cpu(vid, SimTime::from_micros(10));
+        k.resume_cpu(vid, SimTime::from_micros(10), &mut ActionBuf::new());
         let next = k.next_decision_time(vid, SimTime::from_micros(10)).unwrap();
-        k.decide(vid, next);
+        k.decide(vid, next, &mut ActionBuf::new());
         assert_eq!(k.thread_info(tid).state, taichi_os::ThreadState::Finished);
     }
 }

@@ -53,6 +53,17 @@ impl RxQueue {
         true
     }
 
+    /// Dequeues the packet at the head of the ring, if any.
+    ///
+    /// The allocation-free sibling of [`rx_burst`](Self::rx_burst):
+    /// burst drains on the simulator's hot path pop packets one at a
+    /// time instead of collecting them into a fresh `Vec`.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.ring.pop_front()?;
+        self.dequeued.inc();
+        Some(p)
+    }
+
     /// Drains up to `burst` packets in FIFO order.
     pub fn rx_burst(&mut self, burst: usize) -> Vec<Packet> {
         let n = burst.min(self.ring.len());

@@ -1,0 +1,148 @@
+//! Allocation-free action buffer for the kernel's out-parameter API.
+//!
+//! Every kernel mutator used to return a fresh `Vec<KernelAction>`;
+//! with millions of scheduler decisions per simulated second that heap
+//! churn dominated the hot loop. [`ActionBuf`] is a small-vector with
+//! inline capacity sized for the common case (a decide emits 1–4
+//! actions): the first [`ActionBuf::INLINE_CAP`] pushes touch only the
+//! buffer itself, and only pathological bursts spill to the heap — and
+//! the spill `Vec` keeps its capacity across [`ActionBuf::clear`], so a
+//! reused scratch buffer stops allocating entirely after warm-up.
+//!
+//! The convention: drivers own one scratch `ActionBuf`, pass it as the
+//! `out` parameter to every kernel call, apply the drained actions, and
+//! clear it for the next call. Kernel code only ever *appends*; it
+//! never reads the buffer.
+
+use crate::kernel::KernelAction;
+
+/// A grow-only buffer of [`KernelAction`]s with inline storage.
+#[derive(Clone, Debug, Default)]
+pub struct ActionBuf {
+    inline: [Option<KernelAction>; ActionBuf::INLINE_CAP],
+    len: usize,
+    spill: Vec<KernelAction>,
+}
+
+impl ActionBuf {
+    /// Actions stored inline before spilling to the heap.
+    pub const INLINE_CAP: usize = 8;
+
+    /// Creates an empty buffer (no heap allocation).
+    pub fn new() -> Self {
+        ActionBuf {
+            inline: [None; ActionBuf::INLINE_CAP],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends one action.
+    #[inline]
+    pub fn push(&mut self, action: KernelAction) {
+        if self.len < ActionBuf::INLINE_CAP {
+            self.inline[self.len] = Some(action);
+        } else {
+            self.spill.push(action);
+        }
+        self.len += 1;
+    }
+
+    /// Number of buffered actions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The action at `index` (panics when out of bounds). Actions are
+    /// `Copy`, so drivers iterate by index while holding `&mut` access
+    /// to everything else.
+    #[inline]
+    pub fn get(&self, index: usize) -> KernelAction {
+        if index < ActionBuf::INLINE_CAP {
+            self.inline[index].expect("index within len")
+        } else {
+            self.spill[index - ActionBuf::INLINE_CAP]
+        }
+    }
+
+    /// Iterates the buffered actions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = KernelAction> + '_ {
+        let inline_len = self.len.min(ActionBuf::INLINE_CAP);
+        self.inline[..inline_len]
+            .iter()
+            .map(|a| a.expect("initialized up to len"))
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Copies the actions into a `Vec` (tests and cold paths).
+    pub fn to_vec(&self) -> Vec<KernelAction> {
+        self.iter().collect()
+    }
+
+    /// Empties the buffer, retaining spill capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taichi_hw::CpuId;
+
+    fn rearm(i: u32) -> KernelAction {
+        KernelAction::Rearm { cpu: CpuId(i) }
+    }
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let mut b = ActionBuf::new();
+        assert!(b.is_empty());
+        for i in 0..20 {
+            b.push(rearm(i));
+        }
+        assert_eq!(b.len(), 20);
+        for i in 0..20 {
+            assert_eq!(b.get(i), rearm(i as u32));
+        }
+        let collected: Vec<_> = b.iter().collect();
+        assert_eq!(collected, (0..20).map(rearm).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut b = ActionBuf::new();
+        for i in 0..12 {
+            b.push(rearm(i));
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        b.push(rearm(99));
+        assert_eq!(b.to_vec(), vec![rearm(99)]);
+    }
+
+    #[test]
+    fn inline_boundary_exact() {
+        let mut b = ActionBuf::new();
+        for i in 0..(ActionBuf::INLINE_CAP as u32) {
+            b.push(rearm(i));
+        }
+        assert_eq!(b.len(), ActionBuf::INLINE_CAP);
+        assert_eq!(
+            b.to_vec(),
+            (0..ActionBuf::INLINE_CAP as u32)
+                .map(rearm)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -24,8 +24,10 @@
 //!
 //! # Driving the kernel
 //!
-//! The kernel is passive. Every mutator takes `now` and returns
-//! [`KernelAction`]s. The driver must:
+//! The kernel is passive. Every mutator takes `now` plus an
+//! [`ActionBuf`] out-parameter and appends the [`KernelAction`]s the
+//! driver must carry out — an allocation-free protocol: the driver owns
+//! one scratch buffer and reuses it across calls. The driver must:
 //!
 //! - arm a timer for every [`KernelAction::ArmWakeup`] and call
 //!   [`Kernel::wakeup`] when it fires;
@@ -35,6 +37,7 @@
 //!   CPU named in a [`KernelAction::Rearm`] and (re)schedule a call to
 //!   [`Kernel::decide`] at that time.
 
+use crate::actions::ActionBuf;
 use crate::cpuset::CpuSet;
 use crate::lock::LockTable;
 use crate::softirq::SoftirqState;
@@ -67,7 +70,10 @@ impl Default for KernelConfig {
 }
 
 /// Side effects the driver must carry out.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Copy` so drivers can iterate a shared [`ActionBuf`] by value while
+/// mutating the rest of their state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelAction {
     /// Arm a timer: call [`Kernel::wakeup`]`(tid)` at `at`.
     ArmWakeup {
@@ -110,7 +116,7 @@ pub enum CpuPhase {
     Online,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct RunningCtx {
     tid: ThreadId,
     /// When the current execution span began (progress is charged from
@@ -278,14 +284,13 @@ impl Kernel {
 
     /// Delivers the SIPI: `Booting` → `Online`. The CPU becomes
     /// schedulable.
-    pub fn cpu_online(&mut self, cpu: CpuId) -> Vec<KernelAction> {
+    pub fn cpu_online(&mut self, cpu: CpuId, out: &mut ActionBuf) {
         if let Some(c) = self.cpu_mut(cpu) {
             if c.phase == CpuPhase::Booting {
                 c.phase = CpuPhase::Online;
-                return vec![KernelAction::Rearm { cpu }];
+                out.push(KernelAction::Rearm { cpu });
             }
         }
-        Vec::new()
     }
 
     // ---------------------------------------------------------------
@@ -294,16 +299,16 @@ impl Kernel {
 
     /// Freezes `cpu`: progress on the current thread is charged up to
     /// `now` and execution stops until [`Kernel::resume_cpu`].
-    pub fn pause_cpu(&mut self, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
+    pub fn pause_cpu(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let Some(c) = self.cpu_mut(cpu) else {
-            return Vec::new();
+            return;
         };
         if c.paused {
-            return Vec::new();
+            return;
         }
         c.paused = true;
         c.meter.set_idle(now);
-        if let Some(ctx) = c.current.clone() {
+        if let Some(ctx) = c.current {
             self.charge_progress(cpu, &ctx, now);
             if let Some(c) = self.cpu_mut(cpu) {
                 if let Some(cur) = c.current.as_mut() {
@@ -311,17 +316,17 @@ impl Kernel {
                 }
             }
         }
-        vec![KernelAction::Rearm { cpu }]
+        out.push(KernelAction::Rearm { cpu });
     }
 
     /// Unfreezes `cpu`; the current thread (if any) continues from
     /// where it was paused.
-    pub fn resume_cpu(&mut self, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
+    pub fn resume_cpu(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let Some(c) = self.cpu_mut(cpu) else {
-            return Vec::new();
+            return;
         };
         if !c.paused {
-            return Vec::new();
+            return;
         }
         c.paused = false;
         if let Some(cur) = c.current.as_mut() {
@@ -329,11 +334,11 @@ impl Kernel {
             cur.slice_start = now; // fresh slice after a pause
             c.meter.set_busy(now);
         }
-        let mut acts = vec![KernelAction::Rearm { cpu }];
-        if c.current.is_none() && !c.queue.is_empty() {
-            acts.extend(self.dispatch_next(cpu, now));
+        let dispatch = c.current.is_none() && !c.queue.is_empty();
+        out.push(KernelAction::Rearm { cpu });
+        if dispatch {
+            self.dispatch_next(cpu, now, out);
         }
-        acts
     }
 
     /// True when `cpu` is paused.
@@ -395,25 +400,26 @@ impl Kernel {
 
     /// Spawns a thread and places it on the least-loaded eligible CPU.
     ///
-    /// Returns the new thread's ID plus driver actions.
+    /// Returns the new thread's ID; driver actions land in `out`.
     pub fn spawn(
         &mut self,
         program: Program,
         affinity: CpuSet,
         now: SimTime,
-    ) -> (ThreadId, Vec<KernelAction>) {
+        out: &mut ActionBuf,
+    ) -> ThreadId {
         let tid = ThreadId(self.threads.len() as u64);
         self.threads.push(Thread::new(tid, program, affinity, now));
-        let acts = self.make_ready(tid, now);
-        (tid, acts)
+        self.make_ready(tid, now, out);
+        tid
     }
 
     /// Wakes a sleeping thread (driver calls this at `ArmWakeup` time).
-    pub fn wakeup(&mut self, tid: ThreadId, now: SimTime) -> Vec<KernelAction> {
+    pub fn wakeup(&mut self, tid: ThreadId, now: SimTime, out: &mut ActionBuf) {
         if self.thread(tid).state != ThreadState::Sleeping {
-            return Vec::new();
+            return;
         }
-        self.make_ready(tid, now)
+        self.make_ready(tid, now, out);
     }
 
     /// Changes a thread's CPU affinity (`sched_setaffinity`).
@@ -429,10 +435,10 @@ impl Kernel {
         tid: ThreadId,
         affinity: CpuSet,
         now: SimTime,
-    ) -> Vec<KernelAction> {
+        out: &mut ActionBuf,
+    ) {
         assert!(!affinity.is_empty(), "affinity mask must be non-empty");
         self.thread_mut(tid).affinity = affinity;
-        let mut acts = Vec::new();
         match self.thread(tid).state {
             ThreadState::Ready => {
                 // Find and remove it from its current queue, then
@@ -445,24 +451,26 @@ impl Kernel {
                         .unwrap_or(false);
                     if in_queue {
                         if affinity.contains(cpu) {
-                            return acts; // already legal
+                            return; // already legal
                         }
                         if let Some(c) = self.cpu_mut(cpu) {
-                            c.queue.retain(|&t| t != tid);
+                            if let Some(pos) = c.queue.iter().position(|&t| t == tid) {
+                                c.queue.remove(pos);
+                            }
                         }
-                        acts.push(KernelAction::Rearm { cpu });
-                        acts.extend(self.make_ready(tid, now));
-                        return acts;
+                        out.push(KernelAction::Rearm { cpu });
+                        self.make_ready(tid, now, out);
+                        return;
                     }
                 }
-                acts.extend(self.make_ready(tid, now));
+                self.make_ready(tid, now, out);
             }
             ThreadState::Running => {
                 let Some(cpu) = self.find_cpu_of(tid) else {
-                    return acts;
+                    return;
                 };
                 if affinity.contains(cpu) {
-                    return acts;
+                    return;
                 }
                 let seg_np = self
                     .thread(tid)
@@ -473,55 +481,52 @@ impl Kernel {
                     // Migrate at the next scheduling point: the
                     // decision engine re-checks affinity when the
                     // segment completes (see `advance_thread`).
-                    return acts;
+                    return;
                 }
                 // Preempt and migrate now.
-                if let Some(ctx) = self.cpu(cpu).and_then(|c| c.current.clone()) {
+                if let Some(ctx) = self.cpu(cpu).and_then(|c| c.current) {
                     self.charge_progress(cpu, &ctx, now);
                 }
                 self.thread_mut(tid).state = ThreadState::Ready;
                 self.clear_current(cpu, now);
-                acts.extend(self.make_ready(tid, now));
-                acts.extend(self.dispatch_next(cpu, now));
+                self.make_ready(tid, now, out);
+                self.dispatch_next(cpu, now, out);
             }
             // Sleeping/Spinning/Finished: the new mask applies at the
             // next wakeup / lock handover / never.
             _ => {}
         }
-        acts
     }
 
     /// Takes an *idle* CPU offline (no current thread). Queued threads
     /// are migrated to other CPUs in their affinity. Returns `false`
     /// (and changes nothing) when a thread is currently on the CPU.
-    pub fn offline_cpu(&mut self, cpu: CpuId, now: SimTime) -> (bool, Vec<KernelAction>) {
+    pub fn offline_cpu(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) -> bool {
         let Some(c) = self.cpu(cpu) else {
-            return (false, Vec::new());
+            return false;
         };
         if c.current.is_some() {
-            return (false, Vec::new());
+            return false;
         }
-        let queued: Vec<ThreadId> = c.queue.iter().copied().collect();
         if let Some(c) = self.cpu_mut(cpu) {
-            c.queue.clear();
             c.phase = CpuPhase::Offline;
         }
-        let mut acts = vec![KernelAction::Rearm { cpu }];
-        for tid in queued {
-            acts.extend(self.make_ready(tid, now));
+        out.push(KernelAction::Rearm { cpu });
+        while let Some(tid) = self.cpu_mut(cpu).and_then(|c| c.queue.pop_front()) {
+            self.make_ready(tid, now, out);
         }
-        (true, acts)
+        true
     }
 
     /// Places a ready thread on a CPU chosen by load within affinity.
-    fn make_ready(&mut self, tid: ThreadId, now: SimTime) -> Vec<KernelAction> {
+    fn make_ready(&mut self, tid: ThreadId, now: SimTime, out: &mut ActionBuf) {
         self.thread_mut(tid).state = ThreadState::Ready;
         let affinity = self.thread(tid).affinity;
         let target = self.pick_cpu(&affinity);
         let Some(target) = target else {
             panic!("no online CPU in affinity {affinity:?} for {tid:?}");
         };
-        self.enqueue(tid, target, now)
+        self.enqueue(tid, target, now, out)
     }
 
     /// Chooses the least-loaded online CPU in `affinity`, preferring
@@ -548,26 +553,25 @@ impl Kernel {
     }
 
     /// Enqueues `tid` on `cpu`, kicking it if idle.
-    fn enqueue(&mut self, tid: ThreadId, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
-        let mut acts = Vec::new();
+    fn enqueue(&mut self, tid: ThreadId, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let wakeup_ipi = self.config.wakeup_ipi;
         let c = self.cpu_mut(cpu).expect("enqueue on unknown cpu");
         c.queue.push_back(tid);
         let idle = c.current.is_none();
-        if idle && c.runnable() {
-            acts.extend(self.dispatch_next(cpu, now));
+        let runnable = c.runnable();
+        if idle && runnable {
+            self.dispatch_next(cpu, now, out);
         } else if idle && wakeup_ipi {
             // The CPU is idle but paused (a descheduled vCPU): the
             // reschedule kick must cross the virtualization boundary —
             // this is what the unified IPI orchestrator routes.
-            acts.push(KernelAction::SendIpi {
+            out.push(KernelAction::SendIpi {
                 src: cpu,
                 dst: cpu,
                 vector: IrqVector::RESCHEDULE,
             });
         }
-        acts.push(KernelAction::Rearm { cpu });
-        acts
+        out.push(KernelAction::Rearm { cpu });
     }
 
     // ---------------------------------------------------------------
@@ -599,18 +603,19 @@ impl Kernel {
     }
 
     /// Executes due transitions on `cpu` at `now`.
-    pub fn decide(&mut self, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
+    pub fn decide(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let Some(c) = self.cpu(cpu) else {
-            return Vec::new();
+            return;
         };
         if !c.runnable() {
-            return Vec::new();
+            return;
         }
-        let mut acts = Vec::new();
-        match c.current.clone() {
+        let current = c.current;
+        let queue_nonempty = !c.queue.is_empty();
+        match current {
             None => {
-                if !c.queue.is_empty() {
-                    acts.extend(self.dispatch_next(cpu, now));
+                if queue_nonempty {
+                    self.dispatch_next(cpu, now, out);
                 }
             }
             Some(ctx) if ctx.spinning => {
@@ -620,7 +625,7 @@ impl Kernel {
                 let t = self.thread(ctx.tid);
                 let boundary = ctx.span_start + t.remaining;
                 if now >= boundary {
-                    acts.extend(self.complete_segment(cpu, ctx.tid, now));
+                    self.complete_segment(cpu, ctx.tid, now, out);
                 } else {
                     // Slice expiry check.
                     let seg_np = t
@@ -628,15 +633,13 @@ impl Kernel {
                         .map(|s| s.is_non_preemptible())
                         .unwrap_or(false);
                     let slice_end = ctx.slice_start + self.config.timeslice;
-                    let queue_nonempty = !self.cpu(cpu).map(|c| c.queue.is_empty()).unwrap_or(true);
                     if !seg_np && queue_nonempty && now >= slice_end {
-                        acts.extend(self.preempt_rotate(cpu, now));
+                        self.preempt_rotate(cpu, now, out);
                     }
                 }
             }
         }
-        acts.push(KernelAction::Rearm { cpu });
-        acts
+        out.push(KernelAction::Rearm { cpu });
     }
 
     /// Charges progress (or spin time) for the span `[span_start, now)`.
@@ -654,8 +657,7 @@ impl Kernel {
     }
 
     /// The running thread on `cpu` completed its current segment.
-    fn complete_segment(&mut self, cpu: CpuId, tid: ThreadId, now: SimTime) -> Vec<KernelAction> {
-        let mut acts = Vec::new();
+    fn complete_segment(&mut self, cpu: CpuId, tid: ThreadId, now: SimTime, out: &mut ActionBuf) {
         // Charge the full remainder.
         {
             let t = self.thread_mut(tid);
@@ -671,14 +673,13 @@ impl Kernel {
             if self.thread(tid).holding == Some(l) {
                 self.thread_mut(tid).holding = None;
                 if let Some(next_holder) = self.locks.release(l, tid) {
-                    acts.extend(self.grant_lock(next_holder, l, now));
+                    self.grant_lock(next_holder, l, now, out);
                 }
             }
         }
         self.thread_mut(tid).pc += 1;
         self.sync_remaining(tid);
-        acts.extend(self.advance_thread(cpu, tid, now));
-        acts
+        self.advance_thread(cpu, tid, now, out);
     }
 
     /// A spinning thread acquired `lock` after a handover.
@@ -687,7 +688,8 @@ impl Kernel {
         tid: ThreadId,
         lock: crate::lock::LockId,
         now: SimTime,
-    ) -> Vec<KernelAction> {
+        out: &mut ActionBuf,
+    ) {
         // Find the CPU where the waiter spins.
         let waiter_cpu = self.find_cpu_of(tid);
         let Some(wcpu) = waiter_cpu else {
@@ -695,11 +697,11 @@ impl Kernel {
             // possible in this model since spinning is non-preemptible
             // from the kernel's viewpoint), treat as ready.
             self.thread_mut(tid).holding = Some(lock);
-            return Vec::new();
+            return;
         };
         let ctx = self
             .cpu(wcpu)
-            .and_then(|c| c.current.clone())
+            .and_then(|c| c.current)
             .expect("spinner must be current");
         debug_assert!(ctx.spinning);
         // Charge spin time up to the handover (unless the CPU is
@@ -717,7 +719,7 @@ impl Kernel {
                 cur.span_start = now;
             }
         }
-        vec![KernelAction::Rearm { cpu: wcpu }]
+        out.push(KernelAction::Rearm { cpu: wcpu });
     }
 
     fn find_cpu_of(&self, tid: ThreadId) -> Option<CpuId> {
@@ -733,8 +735,7 @@ impl Kernel {
 
     /// Starts (or continues) executing `tid` on `cpu` from its current
     /// pc, processing zero-duration segments inline.
-    fn advance_thread(&mut self, cpu: CpuId, tid: ThreadId, now: SimTime) -> Vec<KernelAction> {
-        let mut acts = Vec::new();
+    fn advance_thread(&mut self, cpu: CpuId, tid: ThreadId, now: SimTime, out: &mut ActionBuf) {
         loop {
             let seg = self.thread(tid).current_segment().cloned();
             match seg {
@@ -744,10 +745,10 @@ impl Kernel {
                     t.state = ThreadState::Finished;
                     t.finished_at = Some(now);
                     self.finished.push(tid);
-                    acts.push(KernelAction::ThreadFinished { tid });
+                    out.push(KernelAction::ThreadFinished { tid });
                     self.clear_current(cpu, now);
-                    acts.extend(self.dispatch_next(cpu, now));
-                    return acts;
+                    self.dispatch_next(cpu, now, out);
+                    return;
                 }
                 Some(Segment::Notify { target }) => {
                     self.thread_mut(tid).pc += 1;
@@ -757,9 +758,8 @@ impl Kernel {
                     {
                         // A kernel-level wake: reschedule IPI towards
                         // wherever the target lands.
-                        let w = self.wakeup(target, now);
-                        acts.extend(w);
-                        acts.push(KernelAction::SendIpi {
+                        self.wakeup(target, now, out);
+                        out.push(KernelAction::SendIpi {
                             src: cpu,
                             dst: cpu,
                             vector: IrqVector::CALL_FUNCTION,
@@ -777,18 +777,18 @@ impl Kernel {
                         if let Some(c) = self.cpu_mut(cpu) {
                             c.queue.push_back(tid);
                         }
-                        acts.extend(self.dispatch_next(cpu, now));
-                        return acts;
+                        self.dispatch_next(cpu, now, out);
+                        return;
                     }
                 }
                 Some(Segment::Sleep(d)) => {
                     self.thread_mut(tid).pc += 1;
                     self.sync_remaining(tid);
                     self.thread_mut(tid).state = ThreadState::Sleeping;
-                    acts.push(KernelAction::ArmWakeup { tid, at: now + d });
+                    out.push(KernelAction::ArmWakeup { tid, at: now + d });
                     self.clear_current(cpu, now);
-                    acts.extend(self.dispatch_next(cpu, now));
-                    return acts;
+                    self.dispatch_next(cpu, now, out);
+                    return;
                 }
                 Some(Segment::NonPreemptible { dur: _, lock }) => {
                     if let Some(l) = lock {
@@ -796,16 +796,16 @@ impl Kernel {
                             // Contended: spin.
                             self.thread_mut(tid).state = ThreadState::Spinning;
                             self.set_current(cpu, tid, now, true);
-                            acts.push(KernelAction::Rearm { cpu });
-                            return acts;
+                            out.push(KernelAction::Rearm { cpu });
+                            return;
                         }
                         self.thread_mut(tid).holding = Some(l);
                     }
                     self.trace(now, cpu, TraceKind::NonPreemptibleEnter { tid: tid.0 });
                     self.thread_mut(tid).state = ThreadState::Running;
                     self.set_current(cpu, tid, now, false);
-                    acts.push(KernelAction::Rearm { cpu });
-                    return acts;
+                    out.push(KernelAction::Rearm { cpu });
+                    return;
                 }
                 Some(Segment::UserCompute(_)) | Some(Segment::KernelPreemptible(_)) => {
                     // Deferred affinity migration: if this CPU is no
@@ -814,14 +814,14 @@ impl Kernel {
                     if !self.thread(tid).affinity.contains(cpu) {
                         self.clear_current(cpu, now);
                         self.thread_mut(tid).state = ThreadState::Ready;
-                        acts.extend(self.make_ready(tid, now));
-                        acts.extend(self.dispatch_next(cpu, now));
-                        return acts;
+                        self.make_ready(tid, now, out);
+                        self.dispatch_next(cpu, now, out);
+                        return;
                     }
                     self.thread_mut(tid).state = ThreadState::Running;
                     self.set_current(cpu, tid, now, false);
-                    acts.push(KernelAction::Rearm { cpu });
-                    return acts;
+                    out.push(KernelAction::Rearm { cpu });
+                    return;
                 }
             }
         }
@@ -867,12 +867,13 @@ impl Kernel {
 
     /// Dispatches the next queued thread on `cpu` (if runnable),
     /// attempting to steal work when the local queue is empty.
-    fn dispatch_next(&mut self, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
+    fn dispatch_next(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let Some(c) = self.cpu(cpu) else {
-            return Vec::new();
+            return;
         };
         if !c.runnable() || c.current.is_some() {
-            return vec![KernelAction::Rearm { cpu }];
+            out.push(KernelAction::Rearm { cpu });
+            return;
         }
         let next = {
             let c = self.cpu_mut(cpu).expect("checked");
@@ -883,19 +884,19 @@ impl Kernel {
             None => self.steal_work(cpu),
         };
         let Some(tid) = next else {
-            return vec![KernelAction::Rearm { cpu }];
+            out.push(KernelAction::Rearm { cpu });
+            return;
         };
         // Context-switch cost: the new thread's span begins after it.
         let start = now + self.config.context_switch;
-        let mut acts = self.advance_thread(cpu, tid, start);
+        self.advance_thread(cpu, tid, start, out);
         // Mark the CPU busy through the switch itself.
         if let Some(c) = self.cpu_mut(cpu) {
             if c.current.is_some() && !c.paused {
                 c.meter.set_busy(now);
             }
         }
-        acts.push(KernelAction::Rearm { cpu });
-        acts
+        out.push(KernelAction::Rearm { cpu });
     }
 
     /// Steals the most-recently-queued thread from the most loaded
@@ -921,25 +922,22 @@ impl Kernel {
             }
         }
         let (_, vcpu) = victim?;
-        // Take the last migratable entry (the cold end of the queue).
-        let queue: Vec<ThreadId> = self
-            .cpu(vcpu)
-            .expect("victim exists")
-            .queue
-            .iter()
-            .copied()
-            .collect();
-        let idx = queue
-            .iter()
-            .rposition(|&t| self.thread(t).affinity.contains(cpu))?;
+        // Take the last migratable entry (the cold end of the queue)
+        // by index — no queue copy.
+        let idx = {
+            let c = self.cpu(vcpu).expect("victim exists");
+            c.queue
+                .iter()
+                .rposition(|&t| self.thread(t).affinity.contains(cpu))?
+        };
         self.cpu_mut(vcpu).expect("victim exists").queue.remove(idx)
     }
 
     /// Preempts the running thread on `cpu`, putting it at the back of
     /// the queue and dispatching the next thread.
-    fn preempt_rotate(&mut self, cpu: CpuId, now: SimTime) -> Vec<KernelAction> {
-        let Some(ctx) = self.cpu(cpu).and_then(|c| c.current.clone()) else {
-            return Vec::new();
+    fn preempt_rotate(&mut self, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
+        let Some(ctx) = self.cpu(cpu).and_then(|c| c.current) else {
+            return;
         };
         self.trace(now, cpu, TraceKind::Preempt { tid: ctx.tid.0 });
         self.charge_progress(cpu, &ctx, now);
@@ -948,7 +946,7 @@ impl Kernel {
         if let Some(c) = self.cpu_mut(cpu) {
             c.queue.push_back(ctx.tid);
         }
-        self.dispatch_next(cpu, now)
+        self.dispatch_next(cpu, now, out)
     }
 
     /// Count of finished threads.
@@ -1002,17 +1000,18 @@ mod tests {
             arm(kernel, &mut q, cpu, now);
         }
         let mut last = now;
+        let mut acts = ActionBuf::new();
         while let Some((t, ev)) = q.pop() {
             if t > until {
                 break;
             }
             last = t;
-            let acts = match ev {
-                Ev::Decide(cpu) => kernel.decide(cpu, t),
-                Ev::Wake(tid) => kernel.wakeup(tid, t),
-            };
-            let mut stack = acts;
-            while let Some(a) = stack.pop() {
+            acts.clear();
+            match ev {
+                Ev::Decide(cpu) => kernel.decide(cpu, t, &mut acts),
+                Ev::Wake(tid) => kernel.wakeup(tid, t, &mut acts),
+            }
+            for a in acts.iter() {
                 match a {
                     KernelAction::ArmWakeup { tid, at } => {
                         q.schedule(at, Ev::Wake(tid));
@@ -1028,8 +1027,10 @@ mod tests {
     /// Spawn helper that feeds actions back into a fresh drive call.
     fn spawn_and_drive(kernel: &mut Kernel, progs: Vec<Program>, until: SimTime) {
         let all: CpuSet = kernel.known_cpus().into_iter().collect();
+        let mut out = ActionBuf::new();
         for p in progs {
-            let (_tid, _acts) = kernel.spawn(p, all, SimTime::ZERO);
+            let _tid = kernel.spawn(p, all, SimTime::ZERO, &mut out);
+            out.clear();
         }
         drive(kernel, until);
     }
@@ -1136,11 +1137,11 @@ mod tests {
         // notify wakes it from the *current* sleep, it re-enters ready.
         let sleeper = Program::new().sleep(SimDuration::from_secs(10));
         let all = CpuSet::range(0, 2);
-        let (t0, _) = k.spawn(sleeper, all, SimTime::ZERO);
+        let t0 = k.spawn(sleeper, all, SimTime::ZERO, &mut ActionBuf::new());
         let notifier = Program::new()
             .compute(SimDuration::from_millis(1))
             .then(Segment::Notify { target: t0 });
-        let (_t1, _) = k.spawn(notifier, all, SimTime::ZERO);
+        let _t1 = k.spawn(notifier, all, SimTime::ZERO, &mut ActionBuf::new());
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.finished_count(), 2);
         let f0 = k.thread_info(t0).finished_at.unwrap();
@@ -1181,11 +1182,11 @@ mod tests {
         assert_eq!(k.cpu_phase(v), Some(CpuPhase::Offline));
         k.cpu_init(v);
         assert_eq!(k.cpu_phase(v), Some(CpuPhase::Booting));
-        k.cpu_online(v);
+        k.cpu_online(v, &mut ActionBuf::new());
         assert_eq!(k.cpu_phase(v), Some(CpuPhase::Online));
         // Now schedulable.
         let p = Program::new().compute(SimDuration::from_micros(10));
-        let (tid, _) = k.spawn(p, CpuSet::single(v), SimTime::ZERO);
+        let tid = k.spawn(p, CpuSet::single(v), SimTime::ZERO, &mut ActionBuf::new());
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
     }
@@ -1202,16 +1203,21 @@ mod tests {
     fn pause_freezes_progress() {
         let mut k = boot(1);
         let p = Program::new().compute(SimDuration::from_millis(10));
-        let (tid, _) = k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let tid = k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         // Run 2 ms (context switch at 0, span starts at 2 µs).
         let t_pause = SimTime::from_millis(2);
-        k.pause_cpu(CpuId(0), t_pause);
+        k.pause_cpu(CpuId(0), t_pause, &mut ActionBuf::new());
         let done = k.thread_info(tid).cpu_time;
         assert_eq!(done, SimDuration::from_nanos(2_000_000 - 2_000));
         // While paused there is no pending decision.
         assert!(k.next_decision_time(CpuId(0), t_pause).is_none());
         // Resume at 10 ms; remaining ~8 ms runs to ~18 ms.
-        k.resume_cpu(CpuId(0), SimTime::from_millis(10));
+        k.resume_cpu(CpuId(0), SimTime::from_millis(10), &mut ActionBuf::new());
         let next = k
             .next_decision_time(CpuId(0), SimTime::from_millis(10))
             .unwrap();
@@ -1221,15 +1227,16 @@ mod tests {
     #[test]
     fn paused_cpu_accepts_queued_work_and_runs_on_resume() {
         let mut k = boot(1);
-        k.pause_cpu(CpuId(0), SimTime::ZERO);
+        k.pause_cpu(CpuId(0), SimTime::ZERO, &mut ActionBuf::new());
         let p = Program::new().compute(SimDuration::from_micros(50));
-        let (tid, acts) = k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let mut acts = ActionBuf::new();
+        let tid = k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO, &mut acts);
         // The kernel wants to kick the paused CPU via IPI.
         assert!(acts
             .iter()
             .any(|a| matches!(a, KernelAction::SendIpi { .. })));
         assert!(k.cpu_has_work(CpuId(0)));
-        k.resume_cpu(CpuId(0), SimTime::from_micros(100));
+        k.resume_cpu(CpuId(0), SimTime::from_micros(100), &mut ActionBuf::new());
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.thread_info(tid).state, ThreadState::Finished);
     }
@@ -1241,12 +1248,17 @@ mod tests {
         let p = Program::new()
             .compute(SimDuration::from_millis(1))
             .critical_locked(SimDuration::from_millis(5), l);
-        k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         // During compute: not in lock context.
         assert!(!k.in_lock_context(CpuId(0)));
         // Advance past the compute segment boundary.
         let t1 = SimTime::from_nanos(1_000_000 + 2_000);
-        k.decide(CpuId(0), t1);
+        k.decide(CpuId(0), t1, &mut ActionBuf::new());
         assert!(k.in_lock_context(CpuId(0)));
     }
 
@@ -1270,7 +1282,12 @@ mod tests {
     fn utilization_metering() {
         let mut k = boot(1);
         let p = Program::new().compute(SimDuration::from_millis(10));
-        k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         drive(&mut k, SimTime::from_secs(1));
         // After completion the CPU went idle at ~10 ms. Utilization at
         // 20 ms ≈ 50%.
@@ -1283,7 +1300,12 @@ mod tests {
         let mut k = boot(2);
         assert!(!k.cpu_has_work(CpuId(0)));
         let p = Program::new().compute(SimDuration::from_millis(1));
-        k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         assert!(k.cpu_has_work(CpuId(0)));
         assert!(!k.cpu_has_work(CpuId(1)));
     }
@@ -1307,13 +1329,23 @@ mod tests {
     fn decision_time_accounts_for_queue() {
         let mut k = boot(1);
         let long = Program::new().compute(SimDuration::from_millis(100));
-        k.spawn(long, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            long,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         // Alone: decision at segment boundary.
         let t0 = k.next_decision_time(CpuId(0), SimTime::ZERO).unwrap();
         assert!(t0 > SimTime::from_millis(99));
         // With a second thread queued: decision at slice end.
         let second = Program::new().compute(SimDuration::from_millis(1));
-        k.spawn(second, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            second,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         let t1 = k.next_decision_time(CpuId(0), SimTime::ZERO).unwrap();
         assert!(
             t1 <= SimTime::from_nanos(3_000_000 + 2_000),
@@ -1328,15 +1360,25 @@ mod tests {
         let l = crate::lock::LockId(3);
         let holder = Program::new().critical_locked(SimDuration::from_millis(5), l);
         let spinner = Program::new().critical_locked(SimDuration::from_millis(1), l);
-        let (h, _) = k.spawn(holder, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let h = k.spawn(
+            holder,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         // Let the holder start its critical section.
-        k.decide(CpuId(0), SimTime::from_micros(2));
+        k.decide(CpuId(0), SimTime::from_micros(2), &mut ActionBuf::new());
         assert!(k.in_lock_context(CpuId(0)));
         // Pause the holder's CPU (simulating a descheduled vCPU).
-        k.pause_cpu(CpuId(0), SimTime::from_micros(10));
+        k.pause_cpu(CpuId(0), SimTime::from_micros(10), &mut ActionBuf::new());
         // Spawn the spinner on CPU 1.
-        let (s, _) = k.spawn(spinner, CpuSet::single(CpuId(1)), SimTime::from_micros(10));
-        k.decide(CpuId(1), SimTime::from_micros(12));
+        let s = k.spawn(
+            spinner,
+            CpuSet::single(CpuId(1)),
+            SimTime::from_micros(10),
+            &mut ActionBuf::new(),
+        );
+        k.decide(CpuId(1), SimTime::from_micros(12), &mut ActionBuf::new());
         assert_eq!(k.thread_info(s).state, ThreadState::Spinning);
         // No decision pending anywhere: the system is stuck until the
         // holder's CPU resumes. This is the deadlock-ish hazard.
@@ -1344,7 +1386,7 @@ mod tests {
             .next_decision_time(CpuId(1), SimTime::from_micros(12))
             .is_none());
         // Resume the holder; drive; both finish.
-        k.resume_cpu(CpuId(0), SimTime::from_millis(1));
+        k.resume_cpu(CpuId(0), SimTime::from_millis(1), &mut ActionBuf::new());
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.thread_info(h).state, ThreadState::Finished);
         assert_eq!(k.thread_info(s).state, ThreadState::Finished);
@@ -1372,12 +1414,28 @@ mod affinity_tests {
         let mut k = boot(2);
         // Occupy CPU 0 so the second spawn queues behind it.
         let long = Program::new().compute(SimDuration::from_millis(50));
-        k.spawn(long, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            long,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         let short = Program::new().compute(SimDuration::from_micros(100));
-        let (tid, _) = k.spawn(short, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let tid = k.spawn(
+            short,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         assert_eq!(k.cpu_load(CpuId(0)), 2);
         // Re-bind the queued thread to CPU 1: it migrates and runs now.
-        let acts = k.set_affinity(tid, CpuSet::single(CpuId(1)), SimTime::from_micros(10));
+        let mut acts = ActionBuf::new();
+        k.set_affinity(
+            tid,
+            CpuSet::single(CpuId(1)),
+            SimTime::from_micros(10),
+            &mut acts,
+        );
         assert!(!acts.is_empty());
         assert_eq!(k.cpu_load(CpuId(0)), 1);
         assert_eq!(k.current_thread(CpuId(1)), Some(tid));
@@ -1387,9 +1445,19 @@ mod affinity_tests {
     fn set_affinity_preempts_running_preemptible_thread() {
         let mut k = boot(2);
         let p = Program::new().compute(SimDuration::from_millis(10));
-        let (tid, _) = k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let tid = k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         assert_eq!(k.current_thread(CpuId(0)), Some(tid));
-        k.set_affinity(tid, CpuSet::single(CpuId(1)), SimTime::from_millis(2));
+        k.set_affinity(
+            tid,
+            CpuSet::single(CpuId(1)),
+            SimTime::from_millis(2),
+            &mut ActionBuf::new(),
+        );
         assert_eq!(k.current_thread(CpuId(0)), None);
         assert_eq!(k.current_thread(CpuId(1)), Some(tid));
         // Progress was preserved: ~2 ms consumed on CPU 0.
@@ -1405,9 +1473,19 @@ mod affinity_tests {
         let p = Program::new()
             .critical(SimDuration::from_millis(5))
             .compute(SimDuration::from_millis(1));
-        let (tid, _) = k.spawn(p, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        let tid = k.spawn(
+            p,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         // Mid-critical-section: the migration must not happen yet.
-        k.set_affinity(tid, CpuSet::single(CpuId(1)), SimTime::from_millis(1));
+        k.set_affinity(
+            tid,
+            CpuSet::single(CpuId(1)),
+            SimTime::from_millis(1),
+            &mut ActionBuf::new(),
+        );
         assert_eq!(k.current_thread(CpuId(0)), Some(tid), "deferred");
         // After the routine ends, the thread moves to CPU 1.
         drive(&mut k, SimTime::from_secs(1));
@@ -1421,12 +1499,13 @@ mod affinity_tests {
     #[should_panic(expected = "non-empty")]
     fn empty_affinity_panics() {
         let mut k = boot(1);
-        let (tid, _) = k.spawn(
+        let tid = k.spawn(
             Program::new().compute(SimDuration::from_micros(1)),
             CpuSet::single(CpuId(0)),
             SimTime::ZERO,
+            &mut ActionBuf::new(),
         );
-        k.set_affinity(tid, CpuSet::EMPTY, SimTime::ZERO);
+        k.set_affinity(tid, CpuSet::EMPTY, SimTime::ZERO, &mut ActionBuf::new());
     }
 
     #[test]
@@ -1436,19 +1515,19 @@ mod affinity_tests {
         // then offline CPU 1 (trivially) and CPU 0 (refused: current).
         let p = Program::new().compute(SimDuration::from_millis(5));
         let all = CpuSet::range(0, 2);
-        k.spawn(p.clone(), all, SimTime::ZERO);
-        k.spawn(p.clone(), all, SimTime::ZERO);
-        k.spawn(p, all, SimTime::ZERO);
-        let (ok0, _) = k.offline_cpu(CpuId(0), SimTime::from_micros(10));
+        k.spawn(p.clone(), all, SimTime::ZERO, &mut ActionBuf::new());
+        k.spawn(p.clone(), all, SimTime::ZERO, &mut ActionBuf::new());
+        k.spawn(p, all, SimTime::ZERO, &mut ActionBuf::new());
+        let ok0 = k.offline_cpu(CpuId(0), SimTime::from_micros(10), &mut ActionBuf::new());
         assert!(!ok0, "busy CPU must refuse to offline");
         // Drain CPU 1 by pausing-free check: CPU 1 has a current too.
-        let (ok1, _) = k.offline_cpu(CpuId(1), SimTime::from_micros(10));
+        let ok1 = k.offline_cpu(CpuId(1), SimTime::from_micros(10), &mut ActionBuf::new());
         assert!(!ok1);
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.finished_count(), 3);
         // Now both are idle; offlining succeeds and the CPU reports
         // the Offline phase.
-        let (ok, _) = k.offline_cpu(CpuId(1), SimTime::from_secs(1));
+        let ok = k.offline_cpu(CpuId(1), SimTime::from_secs(1), &mut ActionBuf::new());
         assert!(ok);
         assert_eq!(k.cpu_phase(CpuId(1)), Some(CpuPhase::Offline));
     }
@@ -1457,16 +1536,21 @@ mod affinity_tests {
     fn offline_cpu_requeues_pending_threads() {
         let mut k = boot(2);
         // Pause CPU 1 so a queued thread sticks there without running.
-        k.pause_cpu(CpuId(1), SimTime::ZERO);
+        k.pause_cpu(CpuId(1), SimTime::ZERO, &mut ActionBuf::new());
         let p = Program::new().compute(SimDuration::from_micros(100));
-        let (tid, _) = k.spawn(p, CpuSet::range(0, 2), SimTime::ZERO);
+        let tid = k.spawn(p, CpuSet::range(0, 2), SimTime::ZERO, &mut ActionBuf::new());
         // Force-queue a second thread onto CPU 1 by filling CPU 0.
         let long = Program::new().compute(SimDuration::from_millis(50));
-        k.spawn(long, CpuSet::single(CpuId(0)), SimTime::ZERO);
+        k.spawn(
+            long,
+            CpuSet::single(CpuId(0)),
+            SimTime::ZERO,
+            &mut ActionBuf::new(),
+        );
         let _ = tid;
         // Resume and offline: any queue content must be migrated, and
         // the operation only succeeds when no current occupies it.
-        k.resume_cpu(CpuId(1), SimTime::from_micros(5));
+        k.resume_cpu(CpuId(1), SimTime::from_micros(5), &mut ActionBuf::new());
         drive(&mut k, SimTime::from_secs(1));
         assert_eq!(k.finished_count(), 2);
     }

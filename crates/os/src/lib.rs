@@ -28,16 +28,19 @@
 //!   Tai Chi's softirq-based context-switch mechanism.
 //!
 //! The kernel is a passive state machine: every mutator takes `now` and
-//! returns [`kernel::KernelAction`]s (wakeup timers to arm, IPIs to
-//! route, finished threads) plus dirty-CPU markers; a driver (the
-//! machine composition in `taichi-core`) owns the event queue.
+//! an [`ActionBuf`] out-parameter it appends [`kernel::KernelAction`]s
+//! to (wakeup timers to arm, IPIs to route, finished threads) plus
+//! dirty-CPU markers; a driver (the machine composition in
+//! `taichi-core`) owns the event queue and a reusable scratch buffer.
 
+pub mod actions;
 pub mod cpuset;
 pub mod kernel;
 pub mod lock;
 pub mod softirq;
 pub mod thread;
 
+pub use actions::ActionBuf;
 pub use cpuset::CpuSet;
 pub use kernel::{Kernel, KernelAction, KernelConfig};
 pub use lock::LockId;

@@ -5,7 +5,8 @@
 
 use taichi_hw::CpuId;
 use taichi_os::{
-    CpuSet, Kernel, KernelAction, KernelConfig, LockId, Program, Segment, ThreadId, ThreadState,
+    ActionBuf, CpuSet, Kernel, KernelAction, KernelConfig, LockId, Program, Segment, ThreadId,
+    ThreadState,
 };
 use taichi_sim::check::run_cases;
 use taichi_sim::{EventQueue, Rng, SimDuration, SimTime};
@@ -13,7 +14,7 @@ use taichi_sim::{EventQueue, Rng, SimDuration, SimTime};
 /// Drives a kernel to quiescence (same pattern as the unit tests, but
 /// over arbitrary generated workloads). `pending` carries actions
 /// returned by calls made outside the drive loop (spawns, pauses).
-fn drive(kernel: &mut Kernel, pending: Vec<KernelAction>, until: SimTime) {
+fn drive(kernel: &mut Kernel, pending: &ActionBuf, until: SimTime) {
     drive_with_pulses(kernel, pending, &[], until);
 }
 
@@ -22,7 +23,7 @@ fn drive(kernel: &mut Kernel, pending: Vec<KernelAction>, until: SimTime) {
 /// within one persistent event queue so no timer is ever lost.
 fn drive_with_pulses(
     kernel: &mut Kernel,
-    pending: Vec<KernelAction>,
+    pending: &ActionBuf,
     pulses: &[(u64, u64)], // (pause_at_us, resume_at_us) on CPU 0
     until: SimTime,
 ) {
@@ -39,7 +40,7 @@ fn drive_with_pulses(
             q.schedule(t.max(now), Ev::Decide(cpu));
         }
     };
-    for a in pending {
+    for a in pending.iter() {
         if let KernelAction::ArmWakeup { tid, at } = a {
             q.schedule(at, Ev::Wake(tid));
         }
@@ -51,17 +52,19 @@ fn drive_with_pulses(
     for cpu in kernel.known_cpus() {
         arm(kernel, &mut q, cpu, SimTime::ZERO);
     }
+    let mut acts = ActionBuf::new();
     while let Some((t, ev)) = q.pop() {
         if t > until {
             break;
         }
-        let acts = match ev {
-            Ev::Decide(cpu) => kernel.decide(cpu, t),
-            Ev::Wake(tid) => kernel.wakeup(tid, t),
-            Ev::Pause(cpu) => kernel.pause_cpu(cpu, t),
-            Ev::Resume(cpu) => kernel.resume_cpu(cpu, t),
+        acts.clear();
+        match ev {
+            Ev::Decide(cpu) => kernel.decide(cpu, t, &mut acts),
+            Ev::Wake(tid) => kernel.wakeup(tid, t, &mut acts),
+            Ev::Pause(cpu) => kernel.pause_cpu(cpu, t, &mut acts),
+            Ev::Resume(cpu) => kernel.resume_cpu(cpu, t, &mut acts),
         };
-        for a in acts {
+        for a in acts.iter() {
             match a {
                 KernelAction::ArmWakeup { tid, at } => {
                     q.schedule(at, Ev::Wake(tid));
@@ -111,14 +114,13 @@ fn all_threads_finish_with_exact_accounting() {
         let affinity: CpuSet = cpus.iter().copied().collect();
         let mut expect = SimDuration::ZERO;
         let mut tids = Vec::new();
-        let mut pending = Vec::new();
+        let mut pending = ActionBuf::new();
         for p in &programs {
             expect += p.total_cpu_time();
-            let (tid, acts) = k.spawn(p.clone(), affinity, SimTime::ZERO);
-            pending.extend(acts);
+            let tid = k.spawn(p.clone(), affinity, SimTime::ZERO, &mut pending);
             tids.push(tid);
         }
-        drive(&mut k, pending, SimTime::from_secs(60));
+        drive(&mut k, &pending, SimTime::from_secs(60));
         let mut total = SimDuration::ZERO;
         for tid in tids {
             let t = k.thread_info(tid);
@@ -151,11 +153,10 @@ fn pause_resume_preserves_accounting() {
         let affinity: CpuSet = cpus.iter().copied().collect();
         let mut expect = SimDuration::ZERO;
         let mut tids = Vec::new();
-        let mut pending = Vec::new();
+        let mut pending = ActionBuf::new();
         for p in &programs {
             expect += p.total_cpu_time();
-            let (tid, acts) = k.spawn(p.clone(), affinity, SimTime::ZERO);
-            pending.extend(acts);
+            let tid = k.spawn(p.clone(), affinity, SimTime::ZERO, &mut pending);
             tids.push(tid);
         }
         // Non-overlapping pause/resume pulses on CPU 0.
@@ -166,7 +167,7 @@ fn pause_resume_preserves_accounting() {
             pulses.push((clock, clock + len_us));
             clock += len_us + 1;
         }
-        drive_with_pulses(&mut k, pending, &pulses, SimTime::from_secs(120));
+        drive_with_pulses(&mut k, &pending, &pulses, SimTime::from_secs(120));
         let mut total = SimDuration::ZERO;
         for tid in tids {
             let t = k.thread_info(tid);
@@ -194,8 +195,9 @@ fn turnaround_respects_causality() {
             })
             .fold(SimDuration::ZERO, |a, b| a + b);
         let floor = program.total_cpu_time() + sleeps;
-        let (tid, acts) = k.spawn(program, CpuSet::single(CpuId(0)), SimTime::ZERO);
-        drive(&mut k, acts, SimTime::from_secs(60));
+        let mut acts = ActionBuf::new();
+        let tid = k.spawn(program, CpuSet::single(CpuId(0)), SimTime::ZERO, &mut acts);
+        drive(&mut k, &acts, SimTime::from_secs(60));
         let t = k.thread_info(tid);
         assert_eq!(t.state, ThreadState::Finished);
         assert!(t.turnaround().expect("finished") >= floor);

@@ -127,6 +127,23 @@ impl Dist {
         v.max(0.0)
     }
 
+    /// Hoists per-sample constants for hot sampling loops.
+    ///
+    /// [`Dist::sample`] re-derives dependent parameters on every draw
+    /// (the log-normal location `mu = ln(mean) - sigma²/2` costs a
+    /// transcendental per call). Loops that sample the same
+    /// distribution millions of times prepare it once; the prepared
+    /// sampler draws bit-identical values in the same stream positions.
+    pub fn prepared(&self) -> PreparedDist {
+        match self {
+            Dist::LogNormal { mean, sigma } => PreparedDist::LogNormal {
+                mu: mean.ln() - sigma * sigma / 2.0,
+                sigma: *sigma,
+            },
+            other => PreparedDist::Plain(other.clone()),
+        }
+    }
+
     /// Draws one sample interpreted as nanoseconds.
     pub fn sample_nanos(&self, rng: &mut Rng) -> SimDuration {
         SimDuration::from_nanos(self.sample(rng).round().max(0.0) as u64)
@@ -196,6 +213,34 @@ impl Dist {
                 }
                 parts.iter().map(|(w, d)| d.mean() * w / total).sum()
             }
+        }
+    }
+}
+
+/// A distribution with per-sample constants hoisted (see
+/// [`Dist::prepared`]).
+///
+/// Draws the same values at the same stream positions as the `Dist` it
+/// was prepared from; only the derivation of constant parameters moves
+/// out of the sampling loop.
+#[derive(Clone, Debug)]
+pub enum PreparedDist {
+    /// Log-normal with the location parameter already derived.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Any other family (no per-sample constants worth hoisting).
+    Plain(Dist),
+}
+
+impl PreparedDist {
+    /// Draws one sample; bit-identical to [`Dist::sample`] on the
+    /// source distribution.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match self {
+            PreparedDist::LogNormal { mu, sigma } => {
+                let z = sample_standard_normal(rng);
+                (mu + sigma * z).exp().max(0.0)
+            }
+            PreparedDist::Plain(d) => d.sample(rng),
         }
     }
 }

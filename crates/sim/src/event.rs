@@ -3,39 +3,77 @@
 //! The queue orders events by `(time, sequence)` so that events scheduled
 //! at the same instant fire in insertion order — a hard requirement for
 //! reproducibility. Cancellation is lazy: [`EventQueue::schedule`]
-//! returns an [`EventToken`]; cancelled tokens are dropped when popped.
+//! returns an [`EventToken`]; cancelled entries stay in the heap and are
+//! discarded when they surface.
+//!
+//! # Generation-stamped slots
+//!
+//! This is the simulator's hottest structure (every machine event goes
+//! through one schedule and one pop), so the schedule/pop/cancel path
+//! performs **zero hash lookups**. Each heap entry is stamped with a
+//! *slot* in a slab; the slot records a generation counter, a cancelled
+//! bit, and owns the event payload (the heap itself only shuffles
+//! 20-byte `(time, seq, slot)` keys, however large `E` is):
+//!
+//! - `schedule` takes a free slot (or grows the slab) and returns a
+//!   token carrying `(slot, generation)`.
+//! - `cancel` compares the token's generation against the slot: a match
+//!   means the entry is still in the heap, so the cancelled bit is
+//!   flipped — O(1), no search. A mismatch means the event already
+//!   fired (or was swept), so the cancel reports `false` and records
+//!   nothing.
+//! - `pop` bumps the slot generation when an entry leaves the heap
+//!   (fired or swept), recycling the slot and invalidating any stale
+//!   tokens.
+//!
+//! The heap top is kept live (never cancelled) by sweeping in `pop` and
+//! `cancel`, which makes [`EventQueue::peek_time`] a true `&self` read.
+//! Cancelled entries *below* the top stay untouched until they surface,
+//! so the cancellation backlog is always bounded by the heap size.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+///
+/// Tokens are generation-stamped: once the event fires (or the cancel
+/// is swept), the token goes stale and [`EventQueue::cancel`] on it is
+/// a recorded-nothing no-op.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct EventToken(u64);
-
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub struct EventToken {
+    slot: u32,
+    generation: u64,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// A heap entry carries no payload — only the ordering key and the slot
+/// index. Keeping entries at ~20 bytes matters: sift-up/sift-down in
+/// the binary heap move entries around on every schedule and pop, and
+/// event payloads (which can be an order of magnitude larger) would be
+/// copied log(n) times per operation. Payloads live in the slab and are
+/// written exactly once on schedule and read exactly once on pop.
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for min-heap behaviour on BinaryHeap (a max-heap).
         other
@@ -45,16 +83,25 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Per-slot bookkeeping. A slot is bound to exactly one heap entry at a
+/// time; the generation distinguishes successive occupants. The slot
+/// also owns the entry's payload (see [`Entry`]).
+struct Slot<E> {
+    generation: u64,
+    cancelled: bool,
+    event: Option<E>,
+}
+
 /// A time-ordered queue of events of type `E`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
-    /// Sequence numbers still in the heap and not cancelled. Cancel
-    /// bookkeeping is validated against this so a token cancelled
-    /// after its event fired leaves no residue (the `cancelled` set is
-    /// always bounded by the heap size).
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    /// Pending (non-cancelled) events.
+    live: usize,
+    /// Cancelled entries still physically in the heap.
+    cancelled: usize,
     now: SimTime,
 }
 
@@ -69,9 +116,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            live: 0,
+            cancelled: 0,
             now: SimTime::ZERO,
         }
     }
@@ -94,65 +143,117 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { time, seq, event });
-        EventToken(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    cancelled: false,
+                    event: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Entry { time, seq, slot });
+        self.live += 1;
+        EventToken { slot, generation }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the token had not already fired or been
     /// cancelled. Cancelling an already-fired token is a no-op (and
-    /// records nothing: cancellation state never outlives the event).
+    /// records nothing: the slot generation moved on, so the stale
+    /// token cannot leave residue).
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if !self.live.remove(&token.0) {
+        let Some(slot) = self.slots.get_mut(token.slot as usize) else {
+            return false;
+        };
+        if slot.generation != token.generation || slot.cancelled {
             return false;
         }
-        self.cancelled.insert(token.0);
+        slot.cancelled = true;
+        self.live -= 1;
+        self.cancelled += 1;
+        // Keep the heap-top-is-live invariant (peek_time is `&self`).
+        self.sweep_top();
         true
     }
 
     /// Pops the next non-cancelled event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            let entry = self.heap.pop()?;
+            let (was_cancelled, event) = self.retire_slot(entry.slot);
+            if was_cancelled {
+                continue; // was cancelled; discard and keep looking
             }
-            self.live.remove(&entry.seq);
+            self.live -= 1;
             self.now = entry.time;
-            return Some((entry.time, entry.event));
+            self.sweep_top();
+            let event = event.expect("live slot owns its payload");
+            return Some((entry.time, event));
         }
-        None
     }
 
     /// Returns the time of the next pending event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
+    ///
+    /// The heap top is never a cancelled entry (`pop` and `cancel`
+    /// sweep), so this is a plain O(1) read.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        debug_assert!(self
+            .heap
+            .peek()
+            .map(|e| !self.slots[e.slot as usize].cancelled)
+            .unwrap_or(true));
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Frees `slot` for reuse, invalidating outstanding tokens.
+    /// Returns whether the retiring entry had been cancelled, plus the
+    /// payload the slot owned.
+    fn retire_slot(&mut self, slot: u32) -> (bool, Option<E>) {
+        let s = &mut self.slots[slot as usize];
+        s.generation += 1;
+        let event = s.event.take();
+        let was_cancelled = std::mem::replace(&mut s.cancelled, false);
+        if was_cancelled {
+            self.cancelled -= 1;
         }
-        None
+        self.free.push(slot);
+        (was_cancelled, event)
+    }
+
+    /// Discards cancelled entries sitting at the heap top so that the
+    /// top is always live.
+    fn sweep_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if !self.slots[top.slot as usize].cancelled {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked non-empty");
+            self.retire_slot(entry.slot);
+        }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Cancellation records not yet swept from the heap (diagnostics;
-    /// always bounded by the number of pending events).
+    /// always bounded by the number of heap entries).
     pub fn cancelled_backlog(&self) -> usize {
-        self.cancelled.len()
+        self.cancelled
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 }
 
@@ -222,6 +323,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_token_does_not_cancel_slot_reuse() {
+        // The slot of a fired event is recycled for the next schedule;
+        // the old (stale) token must not cancel the new occupant.
+        let mut q = EventQueue::new();
+        let old = q.schedule(SimTime::from_nanos(10), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        let fresh = q.schedule(SimTime::from_nanos(20), 2);
+        assert!(!q.cancel(old), "stale token must be dead");
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2), "new occupant survives");
+        assert!(!q.cancel(fresh), "fired token is dead too");
+    }
+
+    #[test]
     fn post_fire_cancellations_do_not_accumulate() {
         // Regression: cancelling tokens after their events popped used
         // to grow the cancelled set without bound (nothing ever swept
@@ -237,13 +351,27 @@ mod tests {
         }
         assert_eq!(q.cancelled_backlog(), 0);
         assert_eq!(q.len(), 0);
-        // Pre-fire cancellations are swept once their heap entry pops.
-        let a = q.schedule(SimTime::from_nanos(100_000), 0);
-        q.schedule(SimTime::from_nanos(100_001), 1);
-        assert!(q.cancel(a));
+        // Pre-fire cancellations below the heap top stay lazily in the
+        // heap (backlog 1) and are swept once their entry surfaces.
+        q.schedule(SimTime::from_nanos(100_000), 0);
+        let b = q.schedule(SimTime::from_nanos(100_001), 1);
+        assert!(q.cancel(b));
         assert_eq!(q.cancelled_backlog(), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
         assert_eq!(q.cancelled_backlog(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_at_top_sweeps_immediately() {
+        // Cancelling the heap-top entry sweeps it right away so that
+        // peek_time stays a pure &self read.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), 0);
+        q.schedule(SimTime::from_nanos(20), 1);
+        assert!(q.cancel(a));
+        assert_eq!(q.cancelled_backlog(), 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
     }
 
     #[test]
@@ -253,6 +381,14 @@ mod tests {
         q.schedule(SimTime::from_nanos(20), 2);
         q.cancel(t1);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn peek_time_is_shared_access() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        let r: &EventQueue<()> = &q;
+        assert_eq!(r.peek_time(), Some(SimTime::from_nanos(10)));
     }
 
     #[test]
@@ -277,5 +413,16 @@ mod tests {
         q.schedule(q.now() + crate::time::SimDuration::from_nanos(5), 2u32);
         let (t, e) = q.pop().unwrap();
         assert_eq!((t.as_nanos(), e), (15, 2));
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        // Steady-state schedule/pop churn must not grow the slab.
+        let mut q = EventQueue::new();
+        for i in 0..100_000u64 {
+            q.schedule(SimTime::from_nanos(i + 1), i);
+            q.pop();
+        }
+        assert!(q.slots.len() <= 2, "slab grew to {}", q.slots.len());
     }
 }

@@ -28,6 +28,7 @@ pub mod check;
 pub mod dist;
 pub mod event;
 pub mod hist;
+pub mod par;
 pub mod report;
 pub mod rng;
 pub mod series;
@@ -35,7 +36,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use dist::Dist;
+pub use dist::{Dist, PreparedDist};
 pub use event::{EventQueue, EventToken};
 pub use hist::Histogram;
 pub use rng::Rng;

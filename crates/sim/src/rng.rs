@@ -88,15 +88,21 @@ impl Rng {
     /// Panics if `bound` is zero.
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "next_below requires a positive bound");
-        // Lemire's method: rejection zone is [0, 2^64 mod bound).
-        let threshold = bound.wrapping_neg() % bound;
-        loop {
-            let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
-            if (m as u64) >= threshold {
-                return (m >> 64) as u64;
+        // Lemire's method: rejection zone is [0, 2^64 mod bound). The
+        // threshold is only computed lazily — it is strictly below
+        // `bound`, so any draw whose low product half is >= `bound`
+        // is accepted without paying for the 64-bit division. Draw
+        // consumption and results are identical to the eager form.
+        let x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                let x = self.next_u64();
+                m = (x as u128) * (bound as u128);
             }
         }
+        (m >> 64) as u64
     }
 
     /// Returns a uniform integer in `[lo, hi)`.

@@ -1,0 +1,218 @@
+//! Randomized differential test of [`EventQueue`] against a
+//! straight-line reference model.
+//!
+//! The production queue is a generation-stamped slab over a binary
+//! heap (lazy discard of cancelled entries, eager sweep of the heap
+//! top). The reference below is the *specification*: a sorted list in
+//! `(time, seq)` order where cancellation marks an entry and sweeps
+//! mirror the documented points (on `cancel` and after `pop`, the
+//! leading cancelled run is discarded). Every observable — pop order
+//! and payload, `len`, `cancelled_backlog`, `peek_time`, `is_empty`,
+//! and `cancel`'s return value (including stale tokens after slot
+//! reuse) — must agree at every step of a long random op sequence.
+
+use taichi_sim::{EventQueue, EventToken, Rng, SimDuration, SimTime};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Live,
+    Cancelled,
+}
+
+/// Specification model: entries sorted by `(time, seq)`, never a
+/// cancelled entry at the front (the sweep invariant).
+struct SpecQueue {
+    /// `(time, seq, payload, state)`, sorted ascending by `(time, seq)`.
+    entries: Vec<(SimTime, u64, u64, State)>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl SpecQueue {
+    fn new() -> Self {
+        SpecQueue {
+            entries: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the model-side id of the new entry (its seq).
+    fn schedule(&mut self, time: SimTime, payload: u64) -> u64 {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let at = self
+            .entries
+            .partition_point(|&(t, s, _, _)| (t, s) < (time, seq));
+        self.entries.insert(at, (time, seq, payload, State::Live));
+        seq
+    }
+
+    /// Cancels by model id; true iff the entry is still present and
+    /// live (a stale or repeated cancel records nothing).
+    fn cancel(&mut self, id: u64) -> bool {
+        let Some(e) = self.entries.iter_mut().find(|e| e.1 == id) else {
+            return false;
+        };
+        if e.3 == State::Cancelled {
+            return false;
+        }
+        e.3 = State::Cancelled;
+        self.sweep_front();
+        true
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        // The front is live by the sweep invariant.
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (time, _, payload, state) = self.entries.remove(0);
+        assert!(state == State::Live, "sweep invariant violated in spec");
+        self.now = time;
+        self.sweep_front();
+        Some((time, payload))
+    }
+
+    fn sweep_front(&mut self) {
+        while let Some(&(_, _, _, state)) = self.entries.first() {
+            if state == State::Live {
+                break;
+            }
+            self.entries.remove(0);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.3 == State::Live).count()
+    }
+
+    fn cancelled_backlog(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.3 == State::Cancelled)
+            .count()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.entries.first().map(|e| e.0)
+    }
+}
+
+fn check_invariants(q: &EventQueue<u64>, spec: &SpecQueue, step: usize) {
+    assert_eq!(q.len(), spec.len(), "len diverged at step {step}");
+    assert_eq!(
+        q.cancelled_backlog(),
+        spec.cancelled_backlog(),
+        "cancelled_backlog diverged at step {step}"
+    );
+    assert_eq!(
+        q.peek_time(),
+        spec.peek_time(),
+        "peek_time diverged at step {step}"
+    );
+    assert_eq!(
+        q.is_empty(),
+        spec.len() == 0,
+        "is_empty diverged at step {step}"
+    );
+}
+
+fn run_differential(seed: u64, ops: usize) {
+    let mut rng = Rng::new(seed);
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut spec = SpecQueue::new();
+    // All tokens ever issued (live, fired, swept, recycled slots) —
+    // cancelling old ones exercises generation staleness after reuse.
+    let mut tokens: Vec<(EventToken, u64)> = Vec::new();
+    let mut next_payload = 0u64;
+
+    for step in 0..ops {
+        match rng.next_below(4) {
+            // Half the ops schedule, so the queue keeps growing and
+            // slots recycle through the free list.
+            0 | 1 => {
+                let dt = SimDuration::from_nanos(rng.next_below(1_000));
+                let time = q.now() + dt;
+                let payload = next_payload;
+                next_payload += 1;
+                let tok = q.schedule(time, payload);
+                let id = spec.schedule(time, payload);
+                tokens.push((tok, id));
+            }
+            2 if !tokens.is_empty() => {
+                let i = rng.next_below(tokens.len() as u64) as usize;
+                let (tok, id) = tokens[i];
+                let a = q.cancel(tok);
+                let b = spec.cancel(id);
+                assert_eq!(a, b, "cancel return diverged at step {step}");
+            }
+            _ => {
+                let a = q.pop();
+                let b = spec.pop();
+                assert_eq!(a, b, "pop diverged at step {step}");
+            }
+        }
+        check_invariants(&q, &spec, step);
+    }
+
+    // Drain: the remaining pop order must match exactly.
+    let mut drained = 0usize;
+    loop {
+        let a = q.pop();
+        let b = spec.pop();
+        assert_eq!(a, b, "pop diverged during drain after {drained} pops");
+        if a.is_none() {
+            break;
+        }
+        drained += 1;
+        check_invariants(&q, &spec, ops + drained);
+    }
+    assert_eq!(
+        q.cancelled_backlog(),
+        0,
+        "drained queue must be fully swept"
+    );
+}
+
+#[test]
+fn event_queue_matches_spec_over_random_ops() {
+    // 3 seeds x 12k ops (plus drains) >= the 10k-op floor each.
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        run_differential(seed, 12_000);
+    }
+}
+
+#[test]
+fn event_queue_matches_spec_under_heavy_cancellation() {
+    // Skew towards cancels: schedule bursts, then cancel most of them
+    // before popping, hammering the sweep + slot-recycling paths.
+    let mut rng = Rng::new(0xCA7);
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut spec = SpecQueue::new();
+    let mut step = 0usize;
+    for _round in 0..200 {
+        let mut batch = Vec::new();
+        for _ in 0..32 {
+            let dt = SimDuration::from_nanos(rng.next_below(500));
+            let time = q.now() + dt;
+            let payload = rng.next_u64();
+            batch.push((q.schedule(time, payload), spec.schedule(time, payload)));
+            step += 1;
+            check_invariants(&q, &spec, step);
+        }
+        for (tok, id) in batch {
+            if rng.next_below(4) != 0 {
+                assert_eq!(q.cancel(tok), spec.cancel(id), "cancel diverged");
+                step += 1;
+                check_invariants(&q, &spec, step);
+            }
+        }
+        for _ in 0..8 {
+            assert_eq!(q.pop(), spec.pop(), "pop diverged at step {step}");
+            step += 1;
+            check_invariants(&q, &spec, step);
+        }
+    }
+}

@@ -31,4 +31,6 @@ pub mod ping;
 pub mod runner;
 pub mod sockperf;
 
-pub use runner::{measure, measure_cfg, measure_probed, BenchTraffic, MeasuredDp};
+pub use runner::{
+    measure, measure_cfg, measure_modes, measure_probed, measure_sweep, BenchTraffic, MeasuredDp,
+};

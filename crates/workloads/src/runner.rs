@@ -142,6 +142,31 @@ pub fn measure(mode: Mode, traffic: &BenchTraffic, horizon: SimDuration, seed: u
     measure_cfg(cfg, mode, traffic, horizon)
 }
 
+/// Runs [`measure`] for each `(mode, seed)` case across worker threads
+/// (see [`taichi_sim::par`]), returning results in input order — each
+/// run builds its own machine and RNG streams, so the fan-out is
+/// byte-identical to a serial loop.
+pub fn measure_sweep(
+    cases: &[(Mode, u64)],
+    traffic: &BenchTraffic,
+    horizon: SimDuration,
+) -> Vec<MeasuredDp> {
+    taichi_sim::par::sweep(cases.to_vec(), |(mode, seed)| {
+        measure(mode, traffic, horizon, seed)
+    })
+}
+
+/// Like [`measure_sweep`] for a set of modes sharing one seed.
+pub fn measure_modes(
+    modes: &[Mode],
+    traffic: &BenchTraffic,
+    horizon: SimDuration,
+    seed: u64,
+) -> Vec<MeasuredDp> {
+    let cases: Vec<(Mode, u64)> = modes.iter().map(|&m| (m, seed)).collect();
+    measure_sweep(&cases, traffic, horizon)
+}
+
 /// Like [`measure`] but additionally injects a sparse latency-probe
 /// stream (64 B packets, exponential inter-arrival with mean
 /// `probe_gap_us`) tagged onto queue 1 so it samples the data path
