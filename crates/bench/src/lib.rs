@@ -94,6 +94,21 @@ pub fn emit_trace(name: &str, machine: &taichi_core::machine::Machine) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         println!("[trace] {}", path.display());
+        // A silently truncated trace reads as a complete schedule;
+        // surface ring evictions so nobody diffs a partial TSV
+        // believing it whole.
+        if let Some(t) = machine.tracer() {
+            let dropped = t.dropped();
+            if dropped > 0 {
+                eprintln!(
+                    "warning: {}: trace ring evicted {dropped} event(s); \
+                     the TSV holds only the newest {} (raise \
+                     TraceConfig::capacity for a full schedule)",
+                    path.display(),
+                    t.len()
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,121 @@
+//! The fault-injection layer must not break sweep determinism: an
+//! ACTIVE fault plan draws from its own seeded RNG stream, so a
+//! multi-worker fan-out of faulted machine runs still produces the
+//! byte-identical CSV a serial loop would.
+
+use taichi_bench::sweep_with;
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::metrics::RunReport;
+use taichi_core::{check_invariants, MachineConfig};
+use taichi_cp::SynthCp;
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_sim::report::Table;
+use taichi_sim::{Dist, FaultPlan, SimTime};
+
+/// Renders a faulted sweep's results exactly as `ext_faults` would.
+fn matrix_csv(workers: usize) -> String {
+    let cases = vec![
+        (Mode::Baseline, 0.05f64),
+        (Mode::TaiChi, 0.05),
+        (Mode::TaiChi, 0.20),
+    ];
+    // Short horizon: the point is cross-worker determinism under an
+    // active plan, not statistics.
+    let horizon = SimTime::from_millis(20);
+    let results = sweep_with(workers, cases.clone(), move |(mode, rate)| {
+        let cfg = MachineConfig {
+            seed: 0xFA_17,
+            faults: FaultPlan::uniform(rate),
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, mode);
+        let dp = m.services().len() as u32;
+        m.add_traffic(TrafficGen::new(
+            ArrivalPattern::OnOff {
+                on_us: Dist::constant(200.0),
+                off_us: Dist::exponential(400.0),
+                burst_gap_us: Dist::exponential(1.5 / 0.9 / dp as f64),
+            },
+            Dist::constant(512.0),
+            IoKind::Network,
+            (0..dp).map(CpuId).collect(),
+        ));
+        // Saturate the CP pCPUs so spill-over work lands on vCPUs and
+        // the grant/softirq/IPI fault paths are exercised.
+        let mut rng = taichi_sim::Rng::new(0xFA_17);
+        m.schedule_cp_batch(SynthCp::default().workload(12, &mut rng), SimTime::ZERO);
+        m.run_until(horizon);
+        let r = RunReport::collect(&m);
+        let h = m.fault_health();
+        (
+            r.dp_pps(),
+            m.fault().map(|f| f.stats().total()).unwrap_or(0),
+            h.ipi_resends + h.wakeup_rearms + h.softirq_rearms + h.yield_clamps,
+            check_invariants(&m).violations.len(),
+        )
+    });
+
+    let mut table = Table::new(
+        "fault matrix determinism check",
+        &["mode", "rate", "pps", "faults", "recoveries", "violations"],
+    );
+    for ((mode, rate), (pps, faults, recoveries, violations)) in cases.iter().zip(&results) {
+        table.row(&[
+            mode.to_string(),
+            format!("{rate:.2}"),
+            format!("{pps:.3}"),
+            faults.to_string(),
+            recoveries.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    table.to_csv()
+}
+
+#[test]
+fn faulted_sweep_is_worker_count_invariant() {
+    let serial = matrix_csv(1);
+    let parallel = matrix_csv(4);
+    assert!(
+        serial.lines().count() > 3,
+        "csv must contain a header and three data rows"
+    );
+    assert!(
+        serial.lines().skip(1).all(|l| l.ends_with(",0")),
+        "no invariant may be violated in any cell:\n{serial}"
+    );
+    assert_eq!(
+        serial, parallel,
+        "4-worker faulted sweep CSV must be byte-identical to the serial run"
+    );
+}
+
+/// The fault-free control row of the matrix must behave exactly like a
+/// machine built before the fault layer existed: an inactive plan means
+/// no injector, no recovery counters, no RNG draws.
+#[test]
+fn zero_rate_row_is_fault_free() {
+    let cfg = MachineConfig {
+        seed: 0xFA_17,
+        faults: FaultPlan::uniform(0.0),
+        ..MachineConfig::default()
+    };
+    assert!(!cfg.faults.is_active());
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    let dp = m.services().len() as u32;
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(1.5 / 0.9 / dp as f64),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..dp).map(CpuId).collect(),
+    ));
+    m.run_until(SimTime::from_millis(20));
+    assert!(m.fault().is_none());
+    assert_eq!(m.fault_health(), taichi_core::FaultHealth::default());
+    assert!(check_invariants(&m).ok());
+}

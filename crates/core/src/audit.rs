@@ -18,7 +18,20 @@
 //!    CPU time, and segment retirements.
 //! 3. [`AuditSession::end`] restores the original affinity and
 //!    offlines the auditing vCPU once it drains.
+//!
+//! # Scheduler invariant checking
+//!
+//! The same module hosts the machine-wide **invariant checker** used
+//! by the fault-injection tests ([`check_invariants`] /
+//! [`assert_invariants`]): after any run — faulted or not — the
+//! scheduler must not have lost a vCPU, wedged a softirq, exceeded its
+//! IPI retry budget, stranded a sleeping thread, or run its clock
+//! backwards. Violations are reported as strings (one per broken
+//! invariant); the asserting variant arms a
+//! [`FailureDump`](taichi_sim::trace::FailureDump) first so a failing
+//! fault-matrix test leaves a trace TSV behind.
 
+use crate::machine::Machine;
 use crate::orchestrator::IpiOrchestrator;
 use taichi_hw::CpuId;
 use taichi_os::{ActionBuf, CpuSet, Kernel, Segment, ThreadId};
@@ -126,6 +139,149 @@ impl AuditSession {
         let _ = kernel.offline_cpu(self.audit_cpu, now, out);
         report
     }
+}
+
+/// Outcome of a machine-wide invariant sweep: one human-readable
+/// entry per violated invariant, empty when the schedule is sound.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// One message per broken invariant.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ok() {
+            return f.write_str("all scheduler invariants hold");
+        }
+        writeln!(
+            f,
+            "{} scheduler invariant(s) violated:",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks every machine-wide scheduler invariant at the current
+/// (quiescent, between-events) simulation point:
+///
+/// 1. **vCPU conservation** — each vCPU's state machine, its recorded
+///    grant host, and the occupancy map agree; no vCPU is lost or
+///    double-placed.
+/// 2. **Softirqs drained** — no softirq bit is left pending anywhere
+///    and every raise was eventually handled.
+/// 3. **IPI retries bounded** — no logical IPI exceeded the degrade
+///    policy's retry budget.
+/// 4. **No stranded sleepers** — no thread's wakeup was dropped
+///    without a re-arm (a thread sleeping forever is how a broken
+///    degradation policy manifests).
+/// 5. **Monotone clock** — the event loop never observed time running
+///    backwards.
+pub fn check_invariants(m: &Machine) -> InvariantReport {
+    let mut violations = Vec::new();
+    let health = m.fault_health();
+    let grants = m.grant_hosts();
+    let vsched = m.vsched();
+
+    // 1. vCPU conservation.
+    for (idx, v) in vsched.vcpus().iter().enumerate() {
+        let recorded = grants.get(idx).copied().flatten();
+        if v.host() != recorded {
+            violations.push(format!(
+                "vCPU {idx} state machine says host {:?} but the grant table says {recorded:?}",
+                v.host()
+            ));
+        }
+        if let Some(h) = recorded {
+            if vsched.occupant(h) != Some(idx) {
+                violations.push(format!(
+                    "vCPU {idx} is granted {h:?} but the occupancy map says {:?}",
+                    vsched.occupant(h)
+                ));
+            }
+        }
+    }
+    for p in 0..m.config().spec.num_cpus {
+        let cpu = CpuId(p);
+        if let Some(idx) = vsched.occupant(cpu) {
+            if grants.get(idx).copied().flatten() != Some(cpu) {
+                violations.push(format!(
+                    "{cpu:?} hosts vCPU {idx} per the occupancy map but the grant table disagrees"
+                ));
+            }
+        }
+    }
+
+    // 2. Softirqs drained.
+    let sirq = m.kernel().softirq_state();
+    if sirq.any_pending_anywhere() {
+        violations.push("softirq pending bits left set after the run quiesced".into());
+    }
+    if sirq.total_raised() != sirq.total_handled() {
+        violations.push(format!(
+            "softirq raise/handle imbalance: {} raised vs {} handled",
+            sirq.total_raised(),
+            sirq.total_handled()
+        ));
+    }
+
+    // 3. IPI retries bounded.
+    if let Some(f) = m.fault() {
+        let max = f.degrade().max_ipi_retries;
+        if health.ipi_max_attempt > max {
+            violations.push(format!(
+                "an IPI reached retry attempt {} past the budget of {max}",
+                health.ipi_max_attempt
+            ));
+        }
+    }
+
+    // 4. No stranded sleepers.
+    if !health.lost_wakeups.is_empty() {
+        violations.push(format!(
+            "{} thread(s) lost their wakeup and sleep forever: {:?}",
+            health.lost_wakeups.len(),
+            health.lost_wakeups
+        ));
+    }
+
+    // 5. Monotone clock.
+    if health.clock_regressions > 0 {
+        violations.push(format!(
+            "event clock ran backwards {} time(s)",
+            health.clock_regressions
+        ));
+    }
+
+    InvariantReport { violations }
+}
+
+/// Fail-fast variant of [`check_invariants`]: on any violation, arms a
+/// [`FailureDump`](taichi_sim::trace::FailureDump) (so the trace TSV
+/// lands at `$TAICHI_TRACE` when tracing is on) and panics with the
+/// full report.
+///
+/// # Panics
+///
+/// Panics when any invariant is violated.
+pub fn assert_invariants(m: &Machine, label: &str) {
+    let report = check_invariants(m);
+    if report.ok() {
+        return;
+    }
+    let _dump = m.failure_dump(label);
+    panic!("{label}: {report}");
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use taichi_hw::accel::AcceleratorConfig;
 use taichi_hw::SmartNicSpec;
 use taichi_os::KernelConfig;
 use taichi_sim::trace::TraceConfig;
-use taichi_sim::SimDuration;
+use taichi_sim::{FaultPlan, SimDuration};
 use taichi_virt::{Type2Model, VirtCosts};
 
 /// Tuning knobs for the Tai Chi scheduler proper (§4).
@@ -83,6 +83,11 @@ pub struct MachineConfig {
     /// Scheduler trace layer (off by default; enabling it never
     /// perturbs the simulated schedule, only records it).
     pub trace: TraceConfig,
+    /// Fault-injection plan (inactive by default; an inactive plan
+    /// constructs no injector and leaves runs byte-identical). The
+    /// `TAICHI_FAULTS` environment variable overlays this at machine
+    /// construction.
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -97,6 +102,7 @@ impl Default for MachineConfig {
             vdp_exec_tax: 1.08,
             seed: 0xD1CE,
             trace: TraceConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }

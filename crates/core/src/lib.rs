@@ -35,7 +35,7 @@ pub mod probe_sw;
 pub mod slice;
 pub mod vcpu_sched;
 
-pub use audit::{AuditReport, AuditSession};
+pub use audit::{assert_invariants, check_invariants, AuditReport, AuditSession, InvariantReport};
 pub use config::{MachineConfig, TaiChiConfig};
-pub use machine::{Machine, Mode};
+pub use machine::{FaultHealth, Machine, Mode};
 pub use metrics::RunReport;

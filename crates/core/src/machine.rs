@@ -33,15 +33,21 @@ use crate::probe_sw::AdaptiveYield;
 use crate::slice::AdaptiveSlice;
 use crate::vcpu_sched::VcpuScheduler;
 
-use taichi_cp::{TaskFactory, VmCreateRequest, VmStartupTracker};
+use taichi_cp::{CpTaskKind, TaskFactory, VmCreateRequest, VmStartupTracker};
 use taichi_dp::{DpService, TrafficGen};
-use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, Packet};
+use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, IrqVector, Packet};
 use taichi_os::{ActionBuf, CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
 use taichi_sim::trace::FailureDump;
-use taichi_sim::{EventQueue, Rng, SimDuration, SimTime, TraceKind, Tracer};
+use taichi_sim::{
+    EventQueue, FaultInjector, IpiFate, Rng, SimDuration, SimTime, TraceKind, Tracer,
+};
 use taichi_virt::{VcpuState, VmExitReason};
 
 use std::collections::HashMap;
+
+/// CPU number used for fault/degrade trace events that are not tied to
+/// any particular CPU (wakeup timers, storm bursts).
+const NO_CPU: u32 = u32::MAX;
 
 /// Scheduling regime under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -136,6 +142,42 @@ enum Event {
         batch: usize,
     },
     UtilSample,
+    /// Bounded re-send of an IPI the fault layer dropped or delayed.
+    IpiRetry {
+        src: CpuId,
+        dst: CpuId,
+        vector: IrqVector,
+        attempt: u32,
+    },
+    /// Periodic CP task-storm burst from the fault plan.
+    FaultStorm,
+}
+
+/// Degradation-bookkeeping counters for the fault layer: every
+/// recovery action the scheduler took, plus the loss counters the
+/// invariant checker audits. All-zero (and empty) on a fault-free run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultHealth {
+    /// Dropped IPIs re-sent with backoff.
+    pub ipi_resends: u64,
+    /// IPIs abandoned after exhausting the retry budget.
+    pub ipi_lost: u64,
+    /// Highest retry attempt any IPI reached.
+    pub ipi_max_attempt: u32,
+    /// Wakeup timers re-armed after a drop.
+    pub wakeup_rearms: u64,
+    /// Threads whose wakeup was dropped and never re-armed — each one
+    /// sleeps forever (an invariant violation).
+    pub lost_wakeups: Vec<ThreadId>,
+    /// Context-switch softirqs re-raised after a dropped raise.
+    pub softirq_rearms: u64,
+    /// vCPU grants rolled back because the switch softirq stayed lost.
+    pub softirq_lost_grants: u64,
+    /// Yield thresholds clamped to max on storm-induced starvation.
+    pub yield_clamps: u64,
+    /// Event timestamps observed running backwards (always zero with a
+    /// well-ordered queue; audited by the invariant checker).
+    pub clock_regressions: u64,
 }
 
 /// The full-system simulator.
@@ -203,6 +245,13 @@ pub struct Machine {
     posted_interrupts: u64,
 
     tracer: Option<Tracer>,
+    /// Present only when the (env-overlaid) fault plan is active; a
+    /// `None` here means zero fault branches are ever taken.
+    fault: Option<FaultInjector>,
+    health: FaultHealth,
+    /// Consecutive probe-triggered VM-exits per physical CPU (the
+    /// storm-starvation signal feeding the yield clamp).
+    probe_starve: Vec<u32>,
 }
 
 /// Raw VM-exit reason name for the trace.
@@ -288,6 +337,25 @@ impl Machine {
             accel.set_tracer(t.clone());
         }
 
+        // Fault layer: the injector exists only when the plan (after
+        // the TAICHI_FAULTS overlay) can actually fire, so inactive
+        // plans leave every subsystem on its pre-fault fast path and
+        // runs byte-identical.
+        let fault_plan = cfg.faults.with_env_overrides();
+        let fault = FaultInjector::from_plan(&fault_plan, cfg.seed);
+        let mut apic = ApicFabric::new(spec.num_cpus + num_vcpus, SimDuration::from_nanos(300));
+        if let Some(f) = &fault {
+            if let Some(t) = &tracer {
+                f.set_tracer(t.clone());
+            }
+            kernel.set_fault(f.clone());
+            accel.set_fault(f.clone());
+            apic.set_fault(f.clone());
+            for s in &mut services {
+                s.set_fault(f.clone());
+            }
+        }
+
         let yield_ctl = AdaptiveYield::new(
             spec.num_cpus,
             cfg.taichi.initial_yield_threshold,
@@ -304,7 +372,7 @@ impl Machine {
         Machine {
             accel,
             hw_probe,
-            apic: ApicFabric::new(spec.num_cpus + num_vcpus, SimDuration::from_nanos(300)),
+            apic,
             kernel,
             orchestrator,
             vsched,
@@ -338,6 +406,9 @@ impl Machine {
             util_interval: None,
             posted_interrupts: 0,
             tracer,
+            fault,
+            health: FaultHealth::default(),
+            probe_starve: vec![0; spec.num_cpus as usize],
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             rng,
@@ -460,6 +531,12 @@ impl Machine {
                 break;
             }
             let (at, ev) = self.queue.pop().expect("peeked non-empty");
+            if at < self.now {
+                // The queue contract forbids this; count instead of
+                // panicking so the invariant checker can report it with
+                // a trace dump attached.
+                self.health.clock_regressions += 1;
+            }
             self.now = at;
             self.events_processed += 1;
             if let Some(t) = &self.tracer {
@@ -475,6 +552,12 @@ impl Machine {
             return;
         }
         self.bootstrapped = true;
+        if let Some(f) = &self.fault {
+            let period = f.plan().storm_period;
+            if !period.is_zero() {
+                self.queue.schedule(self.now + period, Event::FaultStorm);
+            }
+        }
         for cpu in self.kernel.known_cpus() {
             self.rearm_kernel(cpu);
         }
@@ -518,6 +601,13 @@ impl Machine {
                     self.queue.schedule(self.now + iv, Event::UtilSample);
                 }
             }
+            Event::IpiRetry {
+                src,
+                dst,
+                vector,
+                attempt,
+            } => self.route_ipi(src, dst, vector, attempt),
+            Event::FaultStorm => self.on_fault_storm(),
         }
         // Only kernel mutations and vCPU exits can free a CP host or
         // make a vCPU runnable, and all of them set the dirty flag —
@@ -580,9 +670,15 @@ impl Machine {
         }
         let out = self.accel.ingest(&mut packet, self.now, &mut self.hw_probe);
         if let Some(cpu) = out.probe_irq {
-            let irq_arrives = out.irq_at + self.apic.latency();
-            self.queue
-                .schedule(irq_arrives.max(self.now), Event::ProbeIrq { host: cpu });
+            // A probe IRQ lost in the fabric is survivable: the probe
+            // re-checks the CPU state when the packet reaches shared
+            // memory (`on_delivered`), which bounds the preemption
+            // latency at the pipeline transfer time.
+            if let Some(lat) = self.apic.irq_latency(cpu) {
+                let irq_arrives = out.irq_at + lat;
+                self.queue
+                    .schedule(irq_arrives.max(self.now), Event::ProbeIrq { host: cpu });
+            }
         }
         self.queue
             .schedule(out.delivered_at.max(self.now), Event::Delivered { packet });
@@ -641,9 +737,14 @@ impl Machine {
             self.arm_dp_idle(host);
             return;
         }
-        let done = self.services[si]
-            .process_burst(self.now, &mut self.rng)
-            .expect("pending > 0 implies a burst");
+        let Some(done) = self.services[si].process_burst(self.now, &mut self.rng) else {
+            // `pending() > 0` was checked above, so today this branch
+            // is dead — but a concurrent-drain refactor could make the
+            // check stale, and silently wedging the core busy-flag is
+            // the worst possible response. Re-arm idle detection.
+            self.arm_dp_idle(host);
+            return;
+        };
         self.dp_busy[si] = true;
         self.queue.schedule(done, Event::DpBurstDone { si });
     }
@@ -735,16 +836,72 @@ impl Machine {
         // switch so packets arriving mid-enter still trigger the probe.
         self.hw_probe.set_state(host, CpuExecState::VState);
         // Raise the dedicated softirq whose handler performs the
-        // context switch, then VM-enter.
+        // context switch, then VM-enter. The raise can be lost to
+        // fault injection: `raise` returns false with the pending bit
+        // clear (an honest "already pending" leaves the bit set).
         self.kernel.softirqs().raise(host, SoftirqKind::TaiChiVcpu);
-        self.kernel.softirqs().handle(host, SoftirqKind::TaiChiVcpu);
+        if self.fault.is_some()
+            && !self
+                .kernel
+                .softirq_state()
+                .is_pending(host, SoftirqKind::TaiChiVcpu)
+        {
+            let rearm = self
+                .fault
+                .as_ref()
+                .map(|f| f.degrade().softirq_rearm)
+                .unwrap_or(false);
+            if rearm {
+                self.health.softirq_rearms += 1;
+                self.trace(
+                    host,
+                    TraceKind::Degrade {
+                        action: "softirq_rearm",
+                    },
+                );
+                // The re-raise can itself be dropped; the handle check
+                // below decides whether the grant survives.
+                self.kernel.softirqs().raise(host, SoftirqKind::TaiChiVcpu);
+            }
+        }
+        if !self.kernel.softirqs().handle(host, SoftirqKind::TaiChiVcpu) {
+            // The switch softirq stayed lost: the VM-enter never
+            // starts. Unwind the placement so the host keeps running
+            // its native context instead of wedging half-switched.
+            self.health.softirq_lost_grants += 1;
+            self.trace(
+                host,
+                TraceKind::Degrade {
+                    action: "grant_rollback",
+                },
+            );
+            self.vsched.vcpu_mut(idx).abort_place(self.now);
+            self.vsched.clear_placement(host);
+            self.grant_host[idx] = None;
+            self.pending_preempt[idx] = false;
+            self.hw_probe.set_state(host, CpuExecState::PState);
+            if let Some(si) = self.dp_index(host) {
+                let now = self.now;
+                self.services[si].restart_polling(now);
+                self.start_processing(host);
+            } else {
+                self.cp_host_suspended[host.index()] = false;
+                self.with_kernel(|k, now, out| k.resume_cpu(host, now, out));
+            }
+            return;
+        }
         let enter_done =
             self.now + self.cfg.taichi.softirq_latency + self.cfg.taichi.costs.vm_enter;
         self.queue.schedule(enter_done, Event::VcpuEntered { idx });
     }
 
     fn on_vcpu_entered(&mut self, idx: usize) {
-        let host = self.grant_host[idx].expect("entered vCPU has a host");
+        let host = self.grant_host[idx].unwrap_or_else(|| {
+            panic!(
+                "VcpuEntered for vCPU {idx} with no host (state {:?})",
+                self.vsched.vcpu(idx).state()
+            )
+        });
         self.trace(host, TraceKind::VmEnter { vcpu: idx as u32 });
         let slice = self.slice_ctl.slice(host);
         let slice_end = self.now + slice;
@@ -804,7 +961,9 @@ impl Machine {
         // a fill opportunity even when no kernel call follows.
         self.cp_fill_dirty = true;
         let reason = self.vsched.vcpu_mut(idx).exit_complete(self.now);
-        let host = self.grant_host[idx].take().expect("exited vCPU had a host");
+        let host = self.grant_host[idx].take().unwrap_or_else(|| {
+            panic!("VcpuExited for vCPU {idx} with no recorded host (exit reason {reason:?})")
+        });
         self.vsched.clear_placement(host);
         self.hw_probe.set_state(host, CpuExecState::PState);
         // Feedback signal for the adaptive controllers: a slice-expiry
@@ -842,6 +1001,36 @@ impl Machine {
                     polls: threshold_after as u64,
                 },
             );
+        }
+
+        // Storm-starvation clamp: under a CP task storm every grant is
+        // cut short by the probe, and the doubling feedback loop pays
+        // a 2 µs switch per step on its way to the max threshold. Once
+        // the probe signals `starvation_window` consecutive preempted
+        // grants, jump the threshold straight to max. Only active with
+        // an injector present so fault-free schedules are untouched.
+        if let Some(f) = &self.fault {
+            let d = f.degrade();
+            let pi = host.index();
+            if pi < self.probe_starve.len() {
+                if effective == VmExitReason::HwProbe {
+                    self.probe_starve[pi] += 1;
+                    if d.yield_clamp && self.probe_starve[pi] >= d.starvation_window {
+                        self.probe_starve[pi] = 0;
+                        if self.yield_ctl.clamp_to_max(host) {
+                            self.health.yield_clamps += 1;
+                            self.trace(
+                                host,
+                                TraceKind::Degrade {
+                                    action: "yield_clamp",
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    self.probe_starve[pi] = 0;
+                }
+            }
         }
 
         if self.dp_index(host).is_some() {
@@ -928,7 +1117,13 @@ impl Machine {
         }
         self.kernel_gen[cpu.index()] += 1;
         let gen = self.kernel_gen[cpu.index()];
-        if let Some(t) = self.kernel.next_decision_time(cpu, self.now) {
+        if let Some(mut t) = self.kernel.next_decision_time(cpu, self.now) {
+            if let Some(f) = &self.fault {
+                // Late decision timers are tolerated by the kernel (it
+                // decides from wall-clock state, not the armed time),
+                // which is exactly why jitter goes here.
+                t += f.timer_jitter(cpu.0);
+            }
             self.queue
                 .schedule(t.max(self.now), Event::KernelDecide { cpu, gen });
         }
@@ -957,38 +1152,142 @@ impl Machine {
         for a in acts.iter() {
             match a {
                 KernelAction::ArmWakeup { tid, at } => {
+                    let mut at = at;
+                    if let Some(f) = &self.fault {
+                        if f.wakeup_dropped(NO_CPU) {
+                            let d = f.degrade();
+                            if d.wakeup_rearm {
+                                // Slack-timer recovery: the wakeup
+                                // lands late but it lands.
+                                self.health.wakeup_rearms += 1;
+                                self.trace(
+                                    CpuId(NO_CPU),
+                                    TraceKind::Degrade {
+                                        action: "wakeup_rearm",
+                                    },
+                                );
+                                at += d.wakeup_rearm_delay;
+                            } else {
+                                // Policy disabled: the thread sleeps
+                                // forever. Recorded so the invariant
+                                // checker catches the broken policy.
+                                self.health.lost_wakeups.push(tid);
+                                continue;
+                            }
+                        }
+                    }
                     self.queue
                         .schedule(at.max(self.now), Event::KernelWake { tid });
                 }
                 KernelAction::ThreadFinished { tid } => self.on_thread_finished(tid),
-                KernelAction::SendIpi { src, dst, vector } => {
-                    let msg = taichi_hw::IpiMessage { src, dst, vector };
-                    let vsched = &self.vsched;
-                    let decision = self
-                        .orchestrator
-                        .route(msg, |i| !vsched.vcpu(i).is_descheduled());
-                    let route = match &decision {
-                        RouteDecision::Direct => "direct",
-                        RouteDecision::Posted { .. } => "posted",
-                        RouteDecision::WakeAndInject { .. } => "wake",
-                    };
-                    self.trace(src, TraceKind::IpiRoute { dst: dst.0, route });
-                    match decision {
-                        RouteDecision::Direct => {
-                            self.apic.deliver(dst, vector);
-                            self.apic.ack(dst, vector);
-                        }
-                        RouteDecision::Posted { .. } => {
-                            self.posted_interrupts += 1;
-                        }
-                        RouteDecision::WakeAndInject { vcpu } => {
-                            self.try_kick_vcpu(vcpu);
-                        }
-                    }
-                }
+                KernelAction::SendIpi { src, dst, vector } => self.route_ipi(src, dst, vector, 0),
                 KernelAction::Rearm { cpu } => self.rearm_kernel(cpu),
             }
         }
+    }
+
+    /// Routes one IPI through the fabric-fault filter and then the
+    /// unified orchestrator. `attempt` counts fabric redraws for this
+    /// logical message: a drop is re-sent with exponential backoff (up
+    /// to [`taichi_sim::DegradePolicy::max_ipi_retries`]), a delay
+    /// redraws its fate at the deferred time, and an exhausted budget
+    /// abandons the message (counted, and caught by the invariant
+    /// checker when the bound is exceeded).
+    fn route_ipi(&mut self, src: CpuId, dst: CpuId, vector: IrqVector, attempt: u32) {
+        self.health.ipi_max_attempt = self.health.ipi_max_attempt.max(attempt);
+        if let Some(f) = &self.fault {
+            match f.ipi_fate(dst.0) {
+                IpiFate::Drop => {
+                    let d = f.degrade();
+                    if d.ipi_resend && attempt < d.max_ipi_retries {
+                        self.health.ipi_resends += 1;
+                        self.trace(
+                            dst,
+                            TraceKind::Degrade {
+                                action: "ipi_resend",
+                            },
+                        );
+                        let backoff = SimDuration::from_nanos(
+                            d.ipi_backoff.as_nanos().saturating_mul(1 << attempt),
+                        );
+                        self.queue.schedule(
+                            self.now + backoff,
+                            Event::IpiRetry {
+                                src,
+                                dst,
+                                vector,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    } else {
+                        self.health.ipi_lost += 1;
+                    }
+                    return;
+                }
+                IpiFate::Delay(d) if attempt < f.degrade().max_ipi_retries => {
+                    self.queue.schedule(
+                        self.now + d,
+                        Event::IpiRetry {
+                            src,
+                            dst,
+                            vector,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    return;
+                }
+                // Out of redraw budget: deliver in place.
+                IpiFate::Delay(_) | IpiFate::Deliver => {}
+            }
+        }
+        let msg = taichi_hw::IpiMessage { src, dst, vector };
+        let vsched = &self.vsched;
+        let decision = self
+            .orchestrator
+            .route(msg, |i| !vsched.vcpu(i).is_descheduled());
+        let route = match &decision {
+            RouteDecision::Direct => "direct",
+            RouteDecision::Posted { .. } => "posted",
+            RouteDecision::WakeAndInject { .. } => "wake",
+        };
+        self.trace(src, TraceKind::IpiRoute { dst: dst.0, route });
+        match decision {
+            RouteDecision::Direct => {
+                self.apic.deliver(dst, vector);
+                self.apic.ack(dst, vector);
+            }
+            RouteDecision::Posted { .. } => {
+                self.posted_interrupts += 1;
+            }
+            RouteDecision::WakeAndInject { vcpu } => {
+                self.try_kick_vcpu(vcpu);
+            }
+        }
+    }
+
+    /// One CP task-storm burst: spawn `storm_tasks` control-plane
+    /// programs (alternating monitoring and device management) built
+    /// from the injector's forked RNG, then re-arm the next burst.
+    fn on_fault_storm(&mut self) {
+        let Some(f) = self.fault.clone() else {
+            return;
+        };
+        let plan = f.plan();
+        let mut rng = f.storm(NO_CPU);
+        let factory = TaskFactory::default();
+        for i in 0..plan.storm_tasks {
+            let kind = if i % 2 == 0 {
+                CpTaskKind::Monitoring
+            } else {
+                CpTaskKind::DeviceManagement
+            };
+            let p = factory.build(kind, &mut rng);
+            let p = self.maybe_transform(p);
+            let aff = self.cp_affinity;
+            self.with_kernel(|k, now, out| k.spawn(p, aff, now, out));
+        }
+        self.queue
+            .schedule(self.now + plan.storm_period, Event::FaultStorm);
     }
 
     /// A descheduled vCPU received work: place it immediately if some
@@ -1134,5 +1433,23 @@ impl Machine {
     /// (the engine-throughput denominator for `bench_engine`).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The fault injector, when the (env-overlaid) plan is active.
+    pub fn fault(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Degradation bookkeeping: every recovery the scheduler performed
+    /// and every loss it conceded (see [`FaultHealth`]).
+    pub fn fault_health(&self) -> FaultHealth {
+        self.health.clone()
+    }
+
+    /// Current host of each vCPU (`None` when descheduled), indexed by
+    /// vCPU pool index — the invariant checker cross-checks this
+    /// against the occupancy map and the vCPU state machines.
+    pub fn grant_hosts(&self) -> &[Option<CpuId>] {
+        &self.grant_host
     }
 }

@@ -77,6 +77,25 @@ impl AdaptiveYield {
         }
     }
 
+    /// Clamps `cpu`'s threshold straight to the max bound. This is the
+    /// storm-starvation degradation: under a sustained CP task storm
+    /// the doubling feedback loop takes many probe exits to back off,
+    /// each one costing a vCPU switch; when the probe signals repeated
+    /// starvation the scheduler jumps to "effectively never yield" in
+    /// one step. Returns `true` when the threshold actually changed.
+    pub fn clamp_to_max(&mut self, cpu: CpuId) -> bool {
+        let max = self.max;
+        let Some(n) = self.thresholds.get_mut(cpu.index()) else {
+            return false;
+        };
+        if *n == max {
+            return false;
+        }
+        *n = max;
+        self.increases += 1;
+        true
+    }
+
     /// Total threshold decreases performed.
     pub fn decreases(&self) -> u64 {
         self.decreases
@@ -158,5 +177,16 @@ mod tests {
     #[should_panic(expected = "invalid threshold bounds")]
     fn zero_min_panics() {
         AdaptiveYield::new(1, 10, 0, 100);
+    }
+
+    #[test]
+    fn clamp_jumps_to_max_once() {
+        let mut a = AdaptiveYield::new(2, 200, 25, 6400);
+        assert!(a.clamp_to_max(CpuId(0)));
+        assert_eq!(a.threshold(CpuId(0)), 6400);
+        assert_eq!(a.threshold(CpuId(1)), 200, "per-CPU isolation");
+        assert!(!a.clamp_to_max(CpuId(0)), "already clamped");
+        assert!(!a.clamp_to_max(CpuId(9)), "unknown CPU is a no-op");
+        assert_eq!(a.increases(), 1);
     }
 }

@@ -27,7 +27,7 @@
 
 use crate::latency::LatencyRecorder;
 use taichi_hw::{CpuId, Packet, RxQueue};
-use taichi_sim::{Dist, PreparedDist, Rng, SimDuration, SimTime, UtilizationMeter};
+use taichi_sim::{Dist, FaultInjector, PreparedDist, Rng, SimDuration, SimTime, UtilizationMeter};
 
 /// Tuning constants for one data-plane service.
 #[derive(Clone, Debug)]
@@ -126,6 +126,12 @@ impl DpService {
         self.queue.push(packet)
     }
 
+    /// Attaches a fault injector to the receive ring (descriptor-
+    /// reject backpressure faults).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.queue.set_fault(fault);
+    }
+
     /// Packets waiting in the ring.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -165,7 +171,11 @@ impl DpService {
         // batch in a fresh Vec on every call, and this is the hottest
         // packet path in the simulator.
         for _ in 0..n {
-            let mut p = self.queue.pop().expect("n is bounded by queue length");
+            // `n` is bounded by the queue length above, so `pop`
+            // cannot fail today; break instead of panicking so a
+            // future concurrent-drain refactor degrades to a shorter
+            // burst rather than taking the whole run down.
+            let Some(mut p) = self.queue.pop() else { break };
             let mut cost_ns = self.proc_cost.sample(rng) * self.exec_tax;
             if t < self.polluted_until {
                 cost_ns *= self.config.pollution_tax;

@@ -14,7 +14,7 @@
 use crate::cpu::CpuId;
 use crate::packet::Packet;
 use crate::probe::HwWorkloadProbe;
-use taichi_sim::{Counter, SimDuration, SimTime, TraceKind, Tracer};
+use taichi_sim::{Counter, FaultInjector, SimDuration, SimTime, TraceKind, Tracer};
 
 /// Timing configuration for the accelerator.
 #[derive(Clone, Debug)]
@@ -80,6 +80,7 @@ pub struct Accelerator {
     ingested: Counter,
     bytes: Counter,
     tracer: Option<Tracer>,
+    fault: Option<FaultInjector>,
 }
 
 impl Accelerator {
@@ -92,6 +93,7 @@ impl Accelerator {
             ingested: Counter::new(),
             bytes: Counter::new(),
             tracer: None,
+            fault: None,
         }
     }
 
@@ -99,6 +101,11 @@ impl Accelerator {
     /// are recorded).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a fault injector (pipeline-stall faults).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = Some(fault);
     }
 
     /// Returns the configuration.
@@ -119,7 +126,16 @@ impl Accelerator {
         probe: &mut HwWorkloadProbe,
     ) -> PipelineOutput {
         let ch = packet.dest_cpu.index() % self.channel_free.len();
-        let start = now.max(self.channel_free[ch]);
+        let mut start = now.max(self.channel_free[ch]);
+        if let Some(f) = &self.fault {
+            // A pipeline stall delays this packet's entry, which also
+            // pushes back the channel's next issue slot: stalls
+            // propagate as backpressure, exactly like a real ASIC
+            // hiccup.
+            if let Some(stall) = f.accel_stall(packet.dest_cpu.0) {
+                start += stall;
+            }
+        }
 
         // Probe check happens before stage ② begins (Fig. 10).
         let probe_irq = if probe.check_on_packet(packet.dest_cpu) {

@@ -10,7 +10,7 @@
 //! path *above* this fabric — this module is plain hardware.
 
 use crate::cpu::CpuId;
-use taichi_sim::{Counter, SimDuration, SimTime};
+use taichi_sim::{Counter, FaultInjector, IpiFate, SimDuration, SimTime};
 
 use std::collections::BTreeSet;
 
@@ -58,6 +58,7 @@ pub struct ApicFabric {
     latency: SimDuration,
     sent: Counter,
     delivered: Counter,
+    fault: Option<FaultInjector>,
 }
 
 impl ApicFabric {
@@ -69,7 +70,13 @@ impl ApicFabric {
             latency,
             sent: Counter::new(),
             delivered: Counter::new(),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault injector (fabric-level IRQ delay/drop).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = Some(fault);
     }
 
     /// Grows the fabric to cover newly registered (virtual) CPUs.
@@ -87,6 +94,22 @@ impl ApicFabric {
     /// Fabric delivery latency.
     pub fn latency(&self) -> SimDuration {
         self.latency
+    }
+
+    /// Fault-aware delivery latency for a device IRQ headed to `cpu`:
+    /// `None` when the message is lost in the fabric, otherwise the
+    /// base latency plus any injected congestion delay. Without an
+    /// injector this is always `Some(latency())`, so the happy path is
+    /// byte-identical to the pre-fault fabric.
+    pub fn irq_latency(&self, cpu: CpuId) -> Option<SimDuration> {
+        let Some(f) = &self.fault else {
+            return Some(self.latency);
+        };
+        match f.ipi_fate(cpu.0) {
+            IpiFate::Drop => None,
+            IpiFate::Delay(d) => Some(self.latency + d),
+            IpiFate::Deliver => Some(self.latency),
+        }
     }
 
     /// Initiates an IPI send at `now`; returns the delivery time.

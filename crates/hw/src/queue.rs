@@ -7,7 +7,7 @@
 //! sheds load instead of absorbing it.
 
 use crate::packet::Packet;
-use taichi_sim::Counter;
+use taichi_sim::{Counter, FaultInjector};
 
 use std::collections::VecDeque;
 
@@ -20,6 +20,7 @@ pub struct RxQueue {
     dequeued: Counter,
     dropped: Counter,
     high_watermark: usize,
+    fault: Option<FaultInjector>,
 }
 
 impl RxQueue {
@@ -37,12 +38,25 @@ impl RxQueue {
             dequeued: Counter::new(),
             dropped: Counter::new(),
             high_watermark: 0,
+            fault: None,
         }
     }
 
+    /// Attaches a fault injector (descriptor-reject backpressure).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = Some(fault);
+    }
+
     /// Deposits a packet; returns `false` (and counts a drop) when the
-    /// ring is full.
+    /// ring is full or the injected backpressure fault rejects the
+    /// descriptor.
     pub fn push(&mut self, packet: Packet) -> bool {
+        if let Some(f) = &self.fault {
+            if f.enic_reject(packet.dest_cpu.0) {
+                self.dropped.inc();
+                return false;
+            }
+        }
         if self.ring.len() >= self.capacity {
             self.dropped.inc();
             return false;

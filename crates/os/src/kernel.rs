@@ -43,7 +43,7 @@ use crate::lock::LockTable;
 use crate::softirq::SoftirqState;
 use crate::thread::{Program, Segment, Thread, ThreadId, ThreadState};
 use taichi_hw::{CpuId, IrqVector};
-use taichi_sim::{SimDuration, SimTime, TraceKind, Tracer, UtilizationMeter};
+use taichi_sim::{FaultInjector, SimDuration, SimTime, TraceKind, Tracer, UtilizationMeter};
 
 use std::collections::VecDeque;
 
@@ -234,11 +234,21 @@ impl Kernel {
         &mut self.softirqs
     }
 
+    /// Read-only softirq state (for the invariant checker).
+    pub fn softirq_state(&self) -> &SoftirqState {
+        &self.softirqs
+    }
+
     /// Attaches a scheduler tracer (preemptions, non-preemptible
     /// sections, and softirq activity are recorded).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.softirqs.set_tracer(tracer.clone());
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a fault injector (lost softirq raises).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.softirqs.set_fault(fault);
     }
 
     fn trace(&self, at: SimTime, cpu: CpuId, kind: TraceKind) {
@@ -524,7 +534,17 @@ impl Kernel {
         let affinity = self.thread(tid).affinity;
         let target = self.pick_cpu(&affinity);
         let Some(target) = target else {
-            panic!("no online CPU in affinity {affinity:?} for {tid:?}");
+            let online: Vec<CpuId> = self
+                .known_cpus()
+                .into_iter()
+                .filter(|&c| self.cpu_phase(c) == Some(CpuPhase::Online))
+                .collect();
+            panic!(
+                "cannot place {tid:?}: no online CPU in its affinity {affinity:?} \
+                 (online CPUs: {online:?}); the task's affinity mask does not \
+                 intersect the machine's online topology — widen the affinity or \
+                 bring a CPU in the mask online before spawning"
+            );
         };
         self.enqueue(tid, target, now, out)
     }
@@ -555,7 +575,9 @@ impl Kernel {
     /// Enqueues `tid` on `cpu`, kicking it if idle.
     fn enqueue(&mut self, tid: ThreadId, cpu: CpuId, now: SimTime, out: &mut ActionBuf) {
         let wakeup_ipi = self.config.wakeup_ipi;
-        let c = self.cpu_mut(cpu).expect("enqueue on unknown cpu");
+        let c = self
+            .cpu_mut(cpu)
+            .unwrap_or_else(|| panic!("enqueue of {tid:?} on unregistered {cpu:?}"));
         c.queue.push_back(tid);
         let idle = c.current.is_none();
         let runnable = c.runnable();
@@ -643,8 +665,25 @@ impl Kernel {
     }
 
     /// Charges progress (or spin time) for the span `[span_start, now)`.
-    fn charge_progress(&mut self, cpu: CpuId, ctx: &RunningCtx, now: SimTime) {
-        let elapsed = now.saturating_since(ctx.span_start);
+    fn charge_progress(&mut self, _cpu: CpuId, ctx: &RunningCtx, now: SimTime) {
+        // `span_start` can sit in the future of `now` (dispatch
+        // charges the context switch before the span begins, and a
+        // dispatch chain — thread sleeps/finishes immediately, next
+        // one dispatches — stacks several switch windows at one
+        // instant), so a preemption landing inside a pending window
+        // legitimately has zero progress to charge. The underflow is
+        // counted in the trace rather than wrapped: a silently huge
+        // `elapsed` here is exactly the kind of accounting skew the
+        // checked variant exists to prevent.
+        let elapsed = match now.checked_since(ctx.span_start) {
+            Some(d) => d,
+            None => {
+                if let Some(t) = &self.tracer {
+                    t.bump("time_underflow");
+                }
+                SimDuration::ZERO
+            }
+        };
         let t = self.thread_mut(ctx.tid);
         if ctx.spinning {
             t.spin_time += elapsed;
@@ -653,7 +692,6 @@ impl Kernel {
             t.remaining -= progress;
             t.cpu_time += progress;
         }
-        let _ = cpu;
     }
 
     /// The running thread on `cpu` completed its current segment.
@@ -699,10 +737,9 @@ impl Kernel {
             self.thread_mut(tid).holding = Some(lock);
             return;
         };
-        let ctx = self
-            .cpu(wcpu)
-            .and_then(|c| c.current)
-            .expect("spinner must be current");
+        let ctx = self.cpu(wcpu).and_then(|c| c.current).unwrap_or_else(|| {
+            panic!("lock handover: waiter recorded on {wcpu:?} is not current there")
+        });
         debug_assert!(ctx.spinning);
         // Charge spin time up to the handover (unless the CPU is
         // paused, in which case spin time was already charged).
@@ -840,7 +877,9 @@ impl Kernel {
 
     fn set_current(&mut self, cpu: CpuId, tid: ThreadId, now: SimTime, spinning: bool) {
         let paused = self.is_paused(cpu);
-        let c = self.cpu_mut(cpu).expect("set_current on unknown cpu");
+        let c = self
+            .cpu_mut(cpu)
+            .unwrap_or_else(|| panic!("set_current of {tid:?} on unregistered {cpu:?}"));
         let slice_start = c
             .current
             .as_ref()

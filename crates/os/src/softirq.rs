@@ -7,7 +7,7 @@
 //! handler execution costs live in the Tai Chi scheduler's cost model.
 
 use taichi_hw::CpuId;
-use taichi_sim::{Counter, TraceKind, Tracer};
+use taichi_sim::{Counter, FaultInjector, TraceKind, Tracer};
 
 /// Softirq categories (a subset of Linux's, plus Tai Chi's own).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,6 +38,7 @@ pub struct SoftirqState {
     raised: Counter,
     handled: Counter,
     tracer: Option<Tracer>,
+    fault: Option<FaultInjector>,
 }
 
 impl SoftirqState {
@@ -48,6 +49,7 @@ impl SoftirqState {
             raised: Counter::new(),
             handled: Counter::new(),
             tracer: None,
+            fault: None,
         }
     }
 
@@ -55,6 +57,11 @@ impl SoftirqState {
     /// recorded, stamped with the tracer clock).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches a fault injector (lost raises).
+    pub fn set_fault(&mut self, fault: FaultInjector) {
+        self.fault = Some(fault);
     }
 
     /// Grows to cover newly registered CPUs.
@@ -65,8 +72,17 @@ impl SoftirqState {
     }
 
     /// Raises `kind` on `cpu`. Returns `true` if it was newly raised
-    /// (not already pending).
+    /// (not already pending). A raise can be lost to fault injection
+    /// (the cross-CPU notification never lands): the pending bit stays
+    /// clear, no raise is counted, and the caller sees `false` — the
+    /// same signature as "already pending", which is why callers that
+    /// need the distinction check [`is_pending`](Self::is_pending).
     pub fn raise(&mut self, cpu: CpuId, kind: SoftirqKind) -> bool {
+        if let Some(f) = &self.fault {
+            if f.softirq_dropped(cpu.0) {
+                return false;
+            }
+        }
         let Some(p) = self.pending.get_mut(cpu.index()) else {
             return false;
         };
@@ -96,6 +112,12 @@ impl SoftirqState {
             .get(cpu.index())
             .map(|&p| p != 0)
             .unwrap_or(false)
+    }
+
+    /// True when any softirq is pending on *any* CPU (the invariant
+    /// checker's drain test).
+    pub fn any_pending_anywhere(&self) -> bool {
+        self.pending.iter().any(|&p| p != 0)
     }
 
     /// Clears and "handles" `kind` on `cpu`; returns whether it was

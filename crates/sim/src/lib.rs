@@ -18,6 +18,9 @@
 //!   with percentile and CDF extraction.
 //! - [`stats`]: online summary statistics, counters, and time-weighted
 //!   utilization meters.
+//! - [`fault`]: a seeded, deterministic fault-injection plan the
+//!   hardware and OS layers consult, decorrelated from workload
+//!   randomness.
 //! - [`report`]: plain-text table and CSV formatting used by the
 //!   experiment binaries.
 //!
@@ -27,6 +30,7 @@
 pub mod check;
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod hist;
 pub mod par;
 pub mod report;
@@ -38,6 +42,7 @@ pub mod trace;
 
 pub use dist::{Dist, PreparedDist};
 pub use event::{EventQueue, EventToken};
+pub use fault::{DegradePolicy, FaultInjector, FaultPlan, FaultStats, IpiFate};
 pub use hist::Histogram;
 pub use rng::Rng;
 pub use series::TimeSeries;

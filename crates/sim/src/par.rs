@@ -17,21 +17,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Default worker count: the `TAICHI_WORKERS` environment variable when
-/// set (a value that fails to parse falls back with a warning to
+/// set (`0` or a value that fails to parse falls back with a warning to
 /// stderr), otherwise the machine's available parallelism.
 pub fn default_workers() -> usize {
-    match std::env::var("TAICHI_WORKERS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) => n.max(1),
-            Err(_) => {
-                eprintln!(
-                    "warning: TAICHI_WORKERS={s:?} is not a valid worker count; \
-                     using available parallelism"
-                );
-                available()
-            }
-        },
-        Err(_) => available(),
+    let var = std::env::var("TAICHI_WORKERS").ok();
+    let (workers, warning) = resolve_workers(var.as_deref(), available());
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    workers
+}
+
+/// Pure resolution of the `TAICHI_WORKERS` override: returns the worker
+/// count plus an optional warning line. Separated from the env read so
+/// both fallback paths are unit-testable without mutating process
+/// state.
+fn resolve_workers(var: Option<&str>, available: usize) -> (usize, Option<String>) {
+    let Some(s) = var else {
+        return (available, None);
+    };
+    match s.trim().parse::<usize>() {
+        Ok(0) => (
+            1,
+            Some(
+                "warning: TAICHI_WORKERS=0 requests zero workers; \
+                 clamping to 1 (serial)"
+                    .to_string(),
+            ),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            available,
+            Some(format!(
+                "warning: TAICHI_WORKERS={s:?} is not a valid worker count; \
+                 using available parallelism"
+            )),
+        ),
     }
 }
 
@@ -132,5 +153,27 @@ mod tests {
     fn more_workers_than_jobs() {
         let out = sweep_with(16, vec![1u32, 2], |i| i * 2);
         assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn zero_workers_warns_and_clamps_to_serial() {
+        let (workers, warning) = resolve_workers(Some("0"), 8);
+        assert_eq!(workers, 1);
+        let w = warning.expect("zero must warn");
+        assert!(w.contains("TAICHI_WORKERS=0"), "{w}");
+    }
+
+    #[test]
+    fn unparsable_workers_warns_and_uses_available() {
+        let (workers, warning) = resolve_workers(Some("lots"), 6);
+        assert_eq!(workers, 6);
+        let w = warning.expect("garbage must warn");
+        assert!(w.contains("\"lots\""), "{w}");
+    }
+
+    #[test]
+    fn valid_and_unset_workers_resolve_silently() {
+        assert_eq!(resolve_workers(Some(" 3 "), 8), (3, None));
+        assert_eq!(resolve_workers(None, 5), (5, None));
     }
 }

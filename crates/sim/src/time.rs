@@ -70,6 +70,15 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Returns the elapsed duration since `earlier`, or `None` if
+    /// `earlier` is in the future. Accounting paths use this instead of
+    /// [`saturating_since`](Self::saturating_since) when an underflow
+    /// means a bookkeeping bug rather than an intended clamp, so the
+    /// caller can assert/trace instead of silently charging zero.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
     /// Returns `self + d` without panicking, clamping at [`SimTime::MAX`].
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
@@ -141,6 +150,13 @@ impl SimDuration {
     /// Returns `self - other`, or zero if `other` is larger.
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns `self - other`, or `None` if `other` is larger. The
+    /// checked sibling of [`saturating_sub`](Self::saturating_sub) for
+    /// call sites where underflow indicates a bug.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
     }
 
     /// Returns `self * k` clamped at [`SimDuration::MAX`].
@@ -333,5 +349,17 @@ mod tests {
     fn saturating_mul_clamps() {
         let d = SimDuration::from_nanos(u64::MAX / 2);
         assert_eq!(d.saturating_mul(4), SimDuration::MAX);
+    }
+
+    #[test]
+    fn checked_variants_signal_underflow() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_nanos(4)));
+        assert_eq!(early.checked_since(late), None);
+        let a = SimDuration::from_nanos(3);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(b.checked_sub(a), Some(SimDuration::from_nanos(6)));
+        assert_eq!(a.checked_sub(b), None);
     }
 }

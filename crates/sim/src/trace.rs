@@ -166,6 +166,18 @@ pub enum TraceKind {
         /// Packet ID.
         pkt: u64,
     },
+    /// The fault-injection layer fired a planned fault.
+    FaultInject {
+        /// Fault name (e.g. `"ipi_drop"`, `"accel_stall"`).
+        kind: &'static str,
+    },
+    /// The scheduler invoked a graceful-degradation policy in response
+    /// to an injected fault.
+    Degrade {
+        /// Degradation action name (e.g. `"ipi_resend"`,
+        /// `"yield_clamp"`).
+        action: &'static str,
+    },
 }
 
 /// Payload-free discriminant of [`TraceKind`], used for queries.
@@ -191,6 +203,8 @@ pub enum TraceTag {
     AccelPreprocess,
     AccelVCheck,
     AccelTransferDone,
+    FaultInject,
+    Degrade,
 }
 
 impl TraceTag {
@@ -216,6 +230,8 @@ impl TraceTag {
             TraceTag::AccelPreprocess => "accel_preprocess",
             TraceTag::AccelVCheck => "accel_vcheck",
             TraceTag::AccelTransferDone => "accel_transfer_done",
+            TraceTag::FaultInject => "fault_inject",
+            TraceTag::Degrade => "degrade",
         }
     }
 }
@@ -243,6 +259,8 @@ impl TraceKind {
             TraceKind::AccelPreprocess { .. } => TraceTag::AccelPreprocess,
             TraceKind::AccelVCheck { .. } => TraceTag::AccelVCheck,
             TraceKind::AccelTransferDone { .. } => TraceTag::AccelTransferDone,
+            TraceKind::FaultInject { .. } => TraceTag::FaultInject,
+            TraceKind::Degrade { .. } => TraceTag::Degrade,
         }
     }
 
@@ -277,6 +295,8 @@ impl TraceKind {
             TraceKind::AccelVCheck { pkt, vstate } => {
                 format!("pkt={pkt} vstate={vstate}")
             }
+            TraceKind::FaultInject { kind } => format!("kind={kind}"),
+            TraceKind::Degrade { action } => format!("action={action}"),
         }
     }
 }
@@ -529,6 +549,15 @@ impl Drop for FailureDump {
         match std::fs::write(&path, self.tracer.to_tsv()) {
             Ok(()) => eprintln!("[taichi-trace] {}: wrote {path}", self.label),
             Err(e) => eprintln!("[taichi-trace] {}: could not write {path}: {e}", self.label),
+        }
+        let dropped = self.tracer.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "[taichi-trace] {}: warning: ring evicted {dropped} events; \
+                 the dump is the newest {} only (raise TraceConfig::capacity)",
+                self.label,
+                self.tracer.len()
+            );
         }
     }
 }

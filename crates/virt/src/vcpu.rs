@@ -160,6 +160,21 @@ impl Vcpu {
         self.state = VcpuState::Entering { host };
     }
 
+    /// Aborts a placement whose VM-enter never started (the context-
+    /// switch softirq was lost to fault injection): `Entering` →
+    /// `Descheduled` without counting an entry or an exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the vCPU is `Entering` — aborting a running or
+    /// exiting vCPU is a scheduler bug.
+    pub fn abort_place(&mut self, _now: SimTime) {
+        match self.state {
+            VcpuState::Entering { .. } => self.state = VcpuState::Descheduled,
+            ref s => panic!("abort_place in state {s:?}"),
+        }
+    }
+
     /// VM-enter finished; the guest executes until `slice_end` unless
     /// exited earlier.
     pub fn enter_complete(&mut self, now: SimTime, slice_end: SimTime) {
