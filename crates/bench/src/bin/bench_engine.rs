@@ -1,15 +1,35 @@
 //! Simulation-engine throughput benchmark: events/sec and ns/event
-//! for the engine primitives and for full-machine runs.
+//! for the engine primitives and for full-machine runs, on both queue
+//! backends.
 //!
-//! Complements the `scheduler_hot_paths` micro-bench (which prints to
-//! stdout only) by persisting a machine-readable report as
-//! `target/experiments/BENCH_engine.json`, so CI and before/after
-//! comparisons can diff engine throughput across commits. Uses the
-//! in-repo timing loops ([`taichi_bench::bench_ns`] /
+//! This binary maintains the repo's committed perf trajectory,
+//! `BENCH_engine.json` at the **repository root**:
+//!
+//! - the `"baseline"` block is the frozen before-numbers (the heap
+//!   backend, i.e. the pre-timing-wheel engine) and is **preserved
+//!   verbatim** when the file already exists, so the trajectory
+//!   survives re-runs;
+//! - the `"current"` block is rewritten on every run with fresh wheel
+//!   and heap measurements plus the resulting speedups.
+//!
+//! A copy also lands in `target/experiments/` so CI can upload it as an
+//! artifact without touching the working tree.
+//!
+//! Flags:
+//!
+//! - `--quick`: fewer coarse iterations (CI smoke mode);
+//! - `--check`: exit non-zero when the current TaiChi events/s falls
+//!   below 70% of the committed baseline — a deliberately generous
+//!   gate (the baseline is the *heap* engine, so the wheel normally
+//!   clears it severalfold) that still catches real regressions
+//!   without flaking on slower CI runners.
+//!
+//! Uses the in-repo timing loops ([`taichi_bench::bench_ns`] /
 //! [`taichi_bench::bench_coarse_ms`]) so the workspace builds offline.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::path::PathBuf;
 
 use taichi_bench::{bench_coarse_ms, bench_ns, results_dir};
 use taichi_core::machine::{Machine, Mode};
@@ -40,8 +60,86 @@ fn build(mode: Mode) -> Machine {
     m
 }
 
+#[derive(Clone, Copy)]
+struct MachineStats {
+    ms: f64,
+    events: u64,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+/// Wall-clock per 20 ms of simulated time plus engine events/sec, for
+/// one mode on the backend currently selected by `TAICHI_QUEUE`.
+fn machine_stats(mode: Mode, iters: u32) -> MachineStats {
+    let ms = bench_coarse_ms(iters, || {
+        let mut m = build(mode);
+        m.run_until(SimTime::from_millis(20));
+        black_box(m.kernel().finished_count())
+    });
+    let mut m = build(mode);
+    m.run_until(SimTime::from_millis(20));
+    let events = m.events_processed();
+    MachineStats {
+        ms,
+        events,
+        ns_per_event: ms * 1e6 / events as f64,
+        events_per_sec: events as f64 / (ms / 1e3),
+    }
+}
+
+fn mode_json(s: MachineStats) -> String {
+    format!(
+        "{{ \"ms_per_20ms_sim\": {:.2}, \"events\": {}, \
+         \"ns_per_event\": {:.1}, \"events_per_sec\": {:.0} }}",
+        s.ms, s.events, s.ns_per_event, s.events_per_sec
+    )
+}
+
+/// Extracts `"key": { ... }` (balanced braces) from `text`, including
+/// the key itself — enough JSON awareness to carry the committed
+/// baseline block forward without a parser dependency.
+fn extract_block<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let start = text.find(key)?;
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[start..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls `"events_per_sec": <number>` for `mode` out of a JSON block.
+fn events_per_sec_of(block: &str, mode: &str) -> Option<f64> {
+    let at = block.find(&format!("\"{mode}\""))?;
+    let rest = &block[at..];
+    let k = rest.find("\"events_per_sec\":")?;
+    let num = rest[k + "\"events_per_sec\":".len()..]
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .next()?;
+    num.parse().ok()
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 fn main() {
-    let mut json = String::from("{\n  \"primitives\": {\n");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let iters: u32 = if quick { 3 } else { 10 };
+
+    // ---- Primitive micro-benches (default = wheel backend). ----
 
     // Event-queue fast path: steady-state schedule+pop (the slab and
     // free list reach a fixed point, so this is allocation-free).
@@ -55,7 +153,7 @@ fn main() {
     println!("event_queue_push_pop            {push_pop:>12.1} ns/iter");
 
     // Cancellation path: schedule two, cancel one, pop the survivor —
-    // exercises the generation stamp + lazy discard machinery.
+    // exercises the generation stamp + eager/lazy discard machinery.
     let mut q2: EventQueue<u64> = EventQueue::new();
     let mut t2 = 0u64;
     let push_cancel_pop = bench_ns(|| {
@@ -91,45 +189,120 @@ fn main() {
     });
     println!("kernel_decide_rotate            {decide_rotate:>12.1} ns/iter");
 
-    let _ = write!(
-        json,
-        "    \"event_queue_push_pop_ns\": {push_pop:.1},\n    \
-         \"event_queue_push_cancel_pop_ns\": {push_cancel_pop:.1},\n    \
-         \"kernel_decide_rotate_ns\": {decide_rotate:.1}\n  }},\n  \"machine\": {{\n"
-    );
+    // ---- Full-machine throughput, wheel vs. heap. ----
 
-    // Full-machine throughput per scheduling mode: wall-clock per 20 ms
-    // of simulated time, and engine events/sec from the machine's own
-    // processed-event counter.
     let modes = [Mode::Baseline, Mode::TaiChi, Mode::Type2];
-    for (i, mode) in modes.into_iter().enumerate() {
-        let ms = bench_coarse_ms(10, || {
-            let mut m = build(mode);
-            m.run_until(SimTime::from_millis(20));
-            black_box(m.kernel().finished_count())
-        });
-        let mut m = build(mode);
-        m.run_until(SimTime::from_millis(20));
-        let events = m.events_processed();
-        let ns_per_event = ms * 1e6 / events as f64;
-        let events_per_sec = events as f64 / (ms / 1e3);
+    std::env::set_var("TAICHI_QUEUE", "wheel");
+    let wheel: Vec<MachineStats> = modes.iter().map(|&m| machine_stats(m, iters)).collect();
+    std::env::set_var("TAICHI_QUEUE", "heap");
+    let heap: Vec<MachineStats> = modes.iter().map(|&m| machine_stats(m, iters)).collect();
+    std::env::remove_var("TAICHI_QUEUE");
+
+    for ((mode, w), h) in modes.iter().zip(&wheel).zip(&heap) {
         println!(
-            "simulate_20ms/{mode:<18} {ms:>12.2} ms/iter  {events} events  \
-             {ns_per_event:.0} ns/event  {events_per_sec:.0} events/sec"
+            "simulate_20ms/{mode:<18} {:>9.2} ms/iter  {} events  {:.0} ns/event  \
+             {:.0} events/sec  ({:.2}x vs heap {:.0} ev/s)",
+            w.ms,
+            w.events,
+            w.ns_per_event,
+            w.events_per_sec,
+            w.events_per_sec / h.events_per_sec,
+            h.events_per_sec,
         );
+    }
+
+    // ---- Assemble the trajectory file. ----
+
+    let root_path = repo_root().join("BENCH_engine.json");
+    let existing = std::fs::read_to_string(&root_path).unwrap_or_default();
+    let baseline_block = match extract_block(&existing, "\"baseline\"") {
+        Some(b) => b.to_string(),
+        None => {
+            // First run: freeze this machine's heap numbers as the
+            // before-trajectory.
+            let mut b = String::from(
+                "\"baseline\": {\n    \"backend\": \"heap\",\n    \
+                 \"note\": \"pre-timing-wheel engine (binary-heap event queue)\",\n    \
+                 \"modes\": {\n",
+            );
+            for (i, (mode, h)) in modes.iter().zip(&heap).enumerate() {
+                let _ = writeln!(
+                    b,
+                    "      \"{mode}\": {}{}",
+                    mode_json(*h),
+                    if i + 1 == modes.len() { "" } else { "," }
+                );
+            }
+            b.push_str("    }\n  }");
+            b
+        }
+    };
+
+    let mut current =
+        String::from("\"current\": {\n    \"backend\": \"wheel\",\n    \"primitives\": {\n");
+    let _ = write!(
+        current,
+        "      \"event_queue_push_pop_ns\": {push_pop:.1},\n      \
+         \"event_queue_push_cancel_pop_ns\": {push_cancel_pop:.1},\n      \
+         \"kernel_decide_rotate_ns\": {decide_rotate:.1}\n    }},\n    \"modes\": {{\n"
+    );
+    for (i, (mode, w)) in modes.iter().zip(&wheel).enumerate() {
         let _ = writeln!(
-            json,
-            "    \"{mode}\": {{ \"ms_per_20ms_sim\": {ms:.2}, \"events\": {events}, \
-             \"ns_per_event\": {ns_per_event:.1}, \"events_per_sec\": {events_per_sec:.0} }}{}",
+            current,
+            "      \"{mode}\": {}{}",
+            mode_json(*w),
             if i + 1 == modes.len() { "" } else { "," }
         );
     }
-    json.push_str("  }\n}\n");
+    current.push_str("    },\n    \"heap_modes\": {\n");
+    for (i, (mode, h)) in modes.iter().zip(&heap).enumerate() {
+        let _ = writeln!(
+            current,
+            "      \"{mode}\": {}{}",
+            mode_json(*h),
+            if i + 1 == modes.len() { "" } else { "," }
+        );
+    }
+    let taichi_idx = 1usize;
+    debug_assert!(matches!(modes[taichi_idx], Mode::TaiChi));
+    let wheel_vs_heap = wheel[taichi_idx].events_per_sec / heap[taichi_idx].events_per_sec;
+    let taichi_key = modes[taichi_idx].to_string();
+    let baseline_eps = events_per_sec_of(&baseline_block, &taichi_key);
+    let vs_baseline = baseline_eps
+        .map(|b| wheel[taichi_idx].events_per_sec / b)
+        .unwrap_or(f64::NAN);
+    let _ = write!(
+        current,
+        "    }},\n    \"speedup_TaiChi_wheel_vs_heap\": {wheel_vs_heap:.2},\n    \
+         \"speedup_TaiChi_vs_baseline\": {vs_baseline:.2}\n  }}"
+    );
 
-    let path = results_dir().join("BENCH_engine.json");
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("[json] {}", path.display());
+    let json = format!("{{\n  {baseline_block},\n  {current}\n}}\n");
+    for path in [root_path.clone(), results_dir().join("BENCH_engine.json")] {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[json] {}", path.display());
+        }
+    }
+
+    // ---- Regression gate. ----
+
+    if check {
+        let Some(base) = baseline_eps else {
+            eprintln!("check: no TaiChi events_per_sec in the committed baseline");
+            std::process::exit(1);
+        };
+        let cur = wheel[taichi_idx].events_per_sec;
+        let ratio = cur / base;
+        println!(
+            "check: TaiChi {cur:.0} events/s vs committed baseline {base:.0} \
+             ({ratio:.2}x, gate at 0.70x)"
+        );
+        if ratio < 0.70 {
+            eprintln!("check FAILED: engine throughput regressed below 70% of the baseline");
+            std::process::exit(1);
+        }
+        println!("check passed");
     }
 }

@@ -1,0 +1,195 @@
+//! Backend-equivalence contract: the timing-wheel event queue must be
+//! observationally indistinguishable from the binary-heap reference.
+//!
+//! The `TAICHI_QUEUE` selector swaps the scheduling core under every
+//! machine a process builds; this test runs the same seeded workloads
+//! under `wheel` and `heap` and asserts that everything a user can
+//! export — the scheduler trace TSV, the run-report statistics, and an
+//! `ext_*`-style experiment CSV — is **byte-identical**, and that the
+//! CSV is additionally invariant to the sweep worker count (1 vs. 4).
+//!
+//! Kept as a single `#[test]` on purpose: the backend selector is a
+//! process-global environment variable, and sibling tests running
+//! concurrently in this binary would race on it.
+
+use taichi_bench::sweep_with;
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::metrics::RunReport;
+use taichi_core::MachineConfig;
+use taichi_cp::{SynthCp, TaskFactory, VmCreateRequest};
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_sim::report::Table;
+use taichi_sim::{Dist, FaultPlan, QueueBackend, Rng, SimTime};
+
+const SEED: u64 = 0x0E77;
+
+fn add_bench_traffic(m: &mut Machine) {
+    let dp = m.services().len() as u32;
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(1.5 / 0.9 / dp as f64),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..dp).map(CpuId).collect(),
+    ));
+}
+
+/// One full-featured machine run (traffic + CP batch + VM create),
+/// optionally traced, returning the report fingerprint and the trace
+/// TSV. Mirrors the determinism-suite fingerprint so a backend
+/// divergence shows up in the same observables the reproduction
+/// contract is stated in.
+fn run_machine(trace: bool) -> (Vec<u64>, Option<String>) {
+    let mut cfg = MachineConfig {
+        seed: SEED,
+        ..MachineConfig::default()
+    };
+    cfg.trace.enabled = trace;
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    add_bench_traffic(&mut m);
+    let synth = SynthCp::default();
+    let mut rng = Rng::new(SEED ^ 0x51);
+    m.schedule_cp_batch(synth.workload(10, &mut rng), SimTime::ZERO);
+    let factory = TaskFactory::default();
+    m.schedule_vm_create(
+        VmCreateRequest::at_density(0, 2, SimTime::from_millis(10)),
+        &factory,
+    );
+    m.run_until(SimTime::from_millis(60));
+    let r = RunReport::collect(&m);
+    let fp = vec![
+        m.events_processed(),
+        r.dp.packets(),
+        r.dp.total_latency().mean().to_bits(),
+        r.dp.total_latency().percentile(99.9),
+        r.cp_finished,
+        r.cp_turnaround.mean().to_bits(),
+        r.cp_spin_time_ns,
+        r.yields,
+        r.hw_probe_exits,
+        r.slice_exits,
+        r.lock_reschedules,
+        r.vm_startups.first().map(|d| d.as_nanos()).unwrap_or(0),
+        m.orchestrator().woken_count(),
+        m.posted_interrupts(),
+    ];
+    (fp, m.trace_tsv())
+}
+
+/// A reduced `ext_faults`-style matrix rendered to CSV exactly as the
+/// experiment binary would (same Table machinery, same cell
+/// formatting), fanned out over `workers` threads.
+fn ext_style_csv(workers: usize) -> String {
+    let cases = vec![(Mode::Baseline, 0.0f64), (Mode::TaiChi, 0.05)];
+    let results = sweep_with(workers, cases.clone(), |(mode, rate)| {
+        let cfg = MachineConfig {
+            seed: SEED,
+            faults: FaultPlan::uniform(rate),
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, mode);
+        add_bench_traffic(&mut m);
+        let mut rng = Rng::new(SEED ^ 0xFA);
+        m.schedule_cp_batch(SynthCp::default().workload(12, &mut rng), SimTime::ZERO);
+        m.run_until(SimTime::from_millis(20));
+        let r = RunReport::collect(&m);
+        let h = m.fault_health();
+        (
+            m.events_processed(),
+            r.dp_pps(),
+            r.dp.total_latency().percentile(99.0),
+            h.ipi_resends + h.wakeup_rearms + h.softirq_rearms + h.yield_clamps,
+        )
+    });
+    let mut table = Table::new(
+        "queue backend equivalence matrix",
+        &["mode", "rate", "events", "pps", "dp p99 (ns)", "recoveries"],
+    );
+    for ((mode, rate), (events, pps, p99, recoveries)) in cases.iter().zip(&results) {
+        table.row(&[
+            mode.to_string(),
+            format!("{rate:.2}"),
+            events.to_string(),
+            format!("{pps:.3}"),
+            p99.to_string(),
+            recoveries.to_string(),
+        ]);
+    }
+    table.to_csv()
+}
+
+struct Artifacts {
+    stats: Vec<u64>,
+    trace: String,
+    csv_serial: String,
+    csv_parallel: String,
+}
+
+fn collect(backend: QueueBackend) -> Artifacts {
+    // Point every EventQueue::new() in this process at the backend
+    // under test — the exact switch an operator would flip.
+    std::env::set_var(
+        "TAICHI_QUEUE",
+        match backend {
+            QueueBackend::Wheel => "wheel",
+            QueueBackend::Heap => "heap",
+        },
+    );
+    assert_eq!(QueueBackend::from_env(), backend, "selector must resolve");
+    let (stats, _) = run_machine(false);
+    let (traced_stats, trace) = run_machine(true);
+    assert_eq!(
+        stats, traced_stats,
+        "{backend:?}: tracing must not perturb the run"
+    );
+    let artifacts = Artifacts {
+        stats,
+        trace: trace.expect("trace was enabled"),
+        csv_serial: ext_style_csv(1),
+        csv_parallel: ext_style_csv(4),
+    };
+    std::env::remove_var("TAICHI_QUEUE");
+    artifacts
+}
+
+#[test]
+fn wheel_and_heap_artifacts_are_byte_identical() {
+    let wheel = collect(QueueBackend::Wheel);
+    let heap = collect(QueueBackend::Heap);
+
+    // Trace TSV: the full scheduler timeline, byte for byte.
+    assert!(
+        wheel.trace.lines().count() > 100,
+        "trace suspiciously short — workload drifted?"
+    );
+    assert_eq!(
+        wheel.trace, heap.trace,
+        "trace TSV differs between wheel and heap backends"
+    );
+
+    // Stats fingerprint (includes the processed-event count, so the
+    // batch drain cannot silently skip or duplicate dispatches).
+    assert_eq!(
+        wheel.stats, heap.stats,
+        "run-report statistics differ between wheel and heap backends"
+    );
+
+    // Experiment CSV: identical across backends AND worker counts.
+    assert!(wheel.csv_serial.lines().count() > 2);
+    assert_eq!(
+        wheel.csv_serial, wheel.csv_parallel,
+        "wheel CSV must be worker-count invariant"
+    );
+    assert_eq!(
+        heap.csv_serial, heap.csv_parallel,
+        "heap CSV must be worker-count invariant"
+    );
+    assert_eq!(
+        wheel.csv_serial, heap.csv_serial,
+        "experiment CSV differs between wheel and heap backends"
+    );
+}

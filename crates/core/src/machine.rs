@@ -44,6 +44,7 @@ use taichi_sim::{
 use taichi_virt::{VcpuState, VmExitReason};
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// CPU number used for fault/degrade trace events that are not tied to
 /// any particular CPU (wakeup timers, storm bursts).
@@ -239,6 +240,20 @@ pub struct Machine {
 
     batches: Vec<Vec<ThreadId>>,
 
+    /// Reusable same-timestamp batch buffer for [`Machine::run_until`]:
+    /// one queue access drains a whole burst, and the buffer keeps its
+    /// capacity across batches so the steady-state loop never allocates.
+    event_batch: Vec<Event>,
+    /// O(1) `CpuId` → DP-service index, dense by `CpuId::index()`
+    /// (`None` for non-DP CPUs). Replaces a linear scan that ran
+    /// several times per packet event.
+    dp_index_map: Vec<Option<usize>>,
+    /// Reusable scratch for the lock-context reschedule host lists
+    /// (capacity retained, so the §4.1 path stops allocating after its
+    /// first use).
+    scratch_idle_dp: Vec<CpuId>,
+    scratch_cp_hosts: Vec<CpuId>,
+
     util_samples: Vec<f64>,
     util_interval: Option<SimDuration>,
 
@@ -268,7 +283,11 @@ fn exit_reason_name(reason: VmExitReason) -> &'static str {
 impl Machine {
     /// Builds a machine in the given mode.
     pub fn new(cfg: MachineConfig, mode: Mode) -> Self {
-        let spec = cfg.spec.clone();
+        // Borrowed, not cloned: thousands of short-lived machines go
+        // through here under `par::sweep`, and the spec is only read
+        // during construction.
+        let spec = &cfg.spec;
+        let num_cpus = spec.num_cpus;
         let rng = Rng::new(cfg.seed);
         let dp_count = match mode {
             Mode::Type2 => cfg.type2.effective_dp_cpus(spec.dp_cpus),
@@ -294,15 +313,22 @@ impl Machine {
         }
         let vsched = VcpuScheduler::new(&vcpu_ids, spec.num_cpus);
 
+        // One shared config for every service (the per-service deep
+        // clone used to dominate `Machine::new` for sweep workloads).
         let mut dp_cfg = cfg.dp.clone();
         if cfg.taichi.cache_isolation {
             // §9: cache/TLB partitioning removes grant pollution.
             dp_cfg.pollution_tax = 1.0;
         }
+        let dp_cfg = Arc::new(dp_cfg);
         let mut services: Vec<DpService> = dp_cpu_ids
             .iter()
-            .map(|&c| DpService::new(c, dp_cfg.clone()))
+            .map(|&c| DpService::with_shared_config(c, Arc::clone(&dp_cfg)))
             .collect();
+        let mut dp_index_map = vec![None; num_cpus as usize];
+        for (i, c) in dp_cpu_ids.iter().enumerate() {
+            dp_index_map[c.index()] = Some(i);
+        }
         if mode == Mode::TaiChiVdp {
             for s in &mut services {
                 s.set_exec_tax(cfg.vdp_exec_tax);
@@ -397,18 +423,22 @@ impl Machine {
             pending_preempt: vec![false; n_v],
             yield_armed: vec![false; dp_count as usize],
             grant_host: vec![None; n_v],
-            cp_host_suspended: vec![false; spec.num_cpus as usize],
+            cp_host_suspended: vec![false; num_cpus as usize],
             trackers: Vec::new(),
             tid_to_tracker: HashMap::new(),
             vm_startup_times: Vec::new(),
             batches: Vec::new(),
+            event_batch: Vec::new(),
+            dp_index_map,
+            scratch_idle_dp: Vec::new(),
+            scratch_cp_hosts: Vec::new(),
             util_samples: Vec::new(),
             util_interval: None,
             posted_interrupts: 0,
             tracer,
             fault,
             health: FaultHealth::default(),
-            probe_starve: vec![0; spec.num_cpus as usize],
+            probe_starve: vec![0; num_cpus as usize],
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             rng,
@@ -524,13 +554,23 @@ impl Machine {
     // ---------------------------------------------------------------
 
     /// Runs the machine until simulated time `t`.
+    ///
+    /// Events are drained in same-timestamp batches: one queue access
+    /// per burst instead of a peek + pop per event. Handlers scheduling
+    /// *at the current instant* still fire in global `(time, seq)`
+    /// order — their entries carry later sequence numbers than the
+    /// whole drained batch, so the next drain picks them up in exactly
+    /// the order a per-event loop would have produced. Batch-draining
+    /// is sound here because the machine never cancels queued events
+    /// (stale firings are filtered by generation counters instead).
     pub fn run_until(&mut self, t: SimTime) {
         self.bootstrap();
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
+        let mut batch = std::mem::take(&mut self.event_batch);
+        loop {
+            debug_assert!(batch.is_empty());
+            let Some(at) = self.queue.drain_next_batch(t, &mut batch) else {
                 break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked non-empty");
+            };
             if at < self.now {
                 // The queue contract forbids this; count instead of
                 // panicking so the invariant checker can report it with
@@ -538,12 +578,15 @@ impl Machine {
                 self.health.clock_regressions += 1;
             }
             self.now = at;
-            self.events_processed += 1;
-            if let Some(t) = &self.tracer {
-                t.set_time(at);
+            if let Some(tr) = &self.tracer {
+                tr.set_time(at);
             }
-            self.handle(ev);
+            for ev in batch.drain(..) {
+                self.events_processed += 1;
+                self.handle(ev);
+            }
         }
+        self.event_batch = batch; // keep the capacity for the next call
         self.now = t.max(self.now);
     }
 
@@ -1044,34 +1087,34 @@ impl Machine {
             self.with_kernel(|k, now, out| k.resume_cpu(host, now, out));
         }
 
-        // Safe lock-context rescheduling (§4.1).
+        // Safe lock-context rescheduling (§4.1). The candidate lists
+        // are built into reusable scratch buffers (capacity retained)
+        // so this path stops allocating after its first use.
         let vid = self.orchestrator.vcpu_cpu_id(idx);
         if self.kernel.in_lock_context(vid) {
-            let idle_dp: Vec<CpuId> = self
-                .dp_cpu_ids
-                .iter()
-                .copied()
-                .filter(|&c| {
-                    c != host
-                        && self.vsched.host_free(c)
-                        && self
-                            .dp_index(c)
-                            .map(|i| self.services[i].is_idle(self.now))
-                            .unwrap_or(false)
-                })
-                .collect();
-            let cp_hosts: Vec<CpuId> = self
-                .cp_cpu_ids
-                .iter()
-                .copied()
-                .filter(|&c| !self.cp_host_suspended[c.index()])
-                .collect();
+            let mut idle_dp = std::mem::take(&mut self.scratch_idle_dp);
+            let mut cp_hosts = std::mem::take(&mut self.scratch_cp_hosts);
+            idle_dp.clear();
+            cp_hosts.clear();
+            // `dp_cpu_ids[i]` hosts `services[i]` by construction.
+            for (i, &c) in self.dp_cpu_ids.iter().enumerate() {
+                if c != host && self.vsched.host_free(c) && self.services[i].is_idle(self.now) {
+                    idle_dp.push(c);
+                }
+            }
+            for &c in &self.cp_cpu_ids {
+                if !self.cp_host_suspended[c.index()] {
+                    cp_hosts.push(c);
+                }
+            }
             if let Some(h) = self.vsched.pick_reschedule_host(&idle_dp, &cp_hosts) {
                 if self.vsched.host_free(h) {
                     self.trace(h, TraceKind::LockReschedule { vcpu: idx as u32 });
                     self.place_vcpu(idx, h);
                 }
             }
+            self.scratch_idle_dp = idle_dp;
+            self.scratch_cp_hosts = cp_hosts;
         }
     }
 
@@ -1346,7 +1389,8 @@ impl Machine {
     // ---------------------------------------------------------------
 
     fn dp_index(&self, cpu: CpuId) -> Option<usize> {
-        self.dp_cpu_ids.iter().position(|&c| c == cpu)
+        // Dense O(1) table — this runs several times per packet event.
+        self.dp_index_map.get(cpu.index()).copied().flatten()
     }
 
     fn trace(&self, cpu: CpuId, kind: TraceKind) {

@@ -25,6 +25,8 @@
 //! [`DpService::mark_polluted`], per-packet processing pays a
 //! multiplicative surcharge.
 
+use std::sync::Arc;
+
 use crate::latency::LatencyRecorder;
 use taichi_hw::{CpuId, Packet, RxQueue};
 use taichi_sim::{Dist, FaultInjector, PreparedDist, Rng, SimDuration, SimTime, UtilizationMeter};
@@ -66,7 +68,10 @@ impl Default for DpServiceConfig {
 #[derive(Clone, Debug)]
 pub struct DpService {
     cpu: CpuId,
-    config: DpServiceConfig,
+    /// Shared, read-only after construction: a machine builds one
+    /// config and hands every service the same `Arc`, so constructing
+    /// N services costs one deep clone instead of N.
+    config: Arc<DpServiceConfig>,
     queue: RxQueue,
     /// The service is software-processing packets until this instant.
     busy_until: SimTime,
@@ -89,6 +94,13 @@ pub struct DpService {
 impl DpService {
     /// Creates an idle service pinned to `cpu`.
     pub fn new(cpu: CpuId, config: DpServiceConfig) -> Self {
+        Self::with_shared_config(cpu, Arc::new(config))
+    }
+
+    /// Creates an idle service sharing an already-built config (the
+    /// bulk-construction path: one `Arc` clone per service instead of
+    /// a deep config clone).
+    pub fn with_shared_config(cpu: CpuId, config: Arc<DpServiceConfig>) -> Self {
         let ring = RxQueue::new(config.ring_capacity);
         let proc_cost = config.proc_cost_ns.prepared();
         DpService {

@@ -2,26 +2,27 @@
 //!
 //! Every kernel mutator used to return a fresh `Vec<KernelAction>`;
 //! with millions of scheduler decisions per simulated second that heap
-//! churn dominated the hot loop. [`ActionBuf`] is a small-vector with
-//! inline capacity sized for the common case (a decide emits 1–4
-//! actions): the first [`ActionBuf::INLINE_CAP`] pushes touch only the
-//! buffer itself, and only pathological bursts spill to the heap — and
-//! the spill `Vec` keeps its capacity across [`ActionBuf::clear`], so a
-//! reused scratch buffer stops allocating entirely after warm-up.
+//! churn dominated the hot loop. [`ActionBuf`] is a small-vector
+//! (backed by the shared [`taichi_sim::InlineVec`]) with inline
+//! capacity sized for the common case (a decide emits 1–4 actions):
+//! the first [`ActionBuf::INLINE_CAP`] pushes touch only the buffer
+//! itself, and only pathological bursts spill to the heap — and the
+//! spill keeps its capacity across [`ActionBuf::clear`], so a reused
+//! scratch buffer stops allocating entirely after warm-up.
 //!
 //! The convention: drivers own one scratch `ActionBuf`, pass it as the
 //! `out` parameter to every kernel call, apply the drained actions, and
 //! clear it for the next call. Kernel code only ever *appends*; it
 //! never reads the buffer.
 
+use taichi_sim::InlineVec;
+
 use crate::kernel::KernelAction;
 
 /// A grow-only buffer of [`KernelAction`]s with inline storage.
 #[derive(Clone, Debug, Default)]
 pub struct ActionBuf {
-    inline: [Option<KernelAction>; ActionBuf::INLINE_CAP],
-    len: usize,
-    spill: Vec<KernelAction>,
+    buf: InlineVec<KernelAction, { ActionBuf::INLINE_CAP }>,
 }
 
 impl ActionBuf {
@@ -31,33 +32,26 @@ impl ActionBuf {
     /// Creates an empty buffer (no heap allocation).
     pub fn new() -> Self {
         ActionBuf {
-            inline: [None; ActionBuf::INLINE_CAP],
-            len: 0,
-            spill: Vec::new(),
+            buf: InlineVec::new(),
         }
     }
 
     /// Appends one action.
     #[inline]
     pub fn push(&mut self, action: KernelAction) {
-        if self.len < ActionBuf::INLINE_CAP {
-            self.inline[self.len] = Some(action);
-        } else {
-            self.spill.push(action);
-        }
-        self.len += 1;
+        self.buf.push(action);
     }
 
     /// Number of buffered actions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.buf.len()
     }
 
     /// True when nothing is buffered.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.buf.is_empty()
     }
 
     /// The action at `index` (panics when out of bounds). Actions are
@@ -65,32 +59,23 @@ impl ActionBuf {
     /// to everything else.
     #[inline]
     pub fn get(&self, index: usize) -> KernelAction {
-        if index < ActionBuf::INLINE_CAP {
-            self.inline[index].expect("index within len")
-        } else {
-            self.spill[index - ActionBuf::INLINE_CAP]
-        }
+        self.buf.get(index)
     }
 
     /// Iterates the buffered actions in push order.
     pub fn iter(&self) -> impl Iterator<Item = KernelAction> + '_ {
-        let inline_len = self.len.min(ActionBuf::INLINE_CAP);
-        self.inline[..inline_len]
-            .iter()
-            .map(|a| a.expect("initialized up to len"))
-            .chain(self.spill.iter().copied())
+        self.buf.iter()
     }
 
     /// Copies the actions into a `Vec` (tests and cold paths).
     pub fn to_vec(&self) -> Vec<KernelAction> {
-        self.iter().collect()
+        self.buf.to_vec()
     }
 
     /// Empties the buffer, retaining spill capacity.
     #[inline]
     pub fn clear(&mut self) {
-        self.len = 0;
-        self.spill.clear();
+        self.buf.clear();
     }
 }
 

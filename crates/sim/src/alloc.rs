@@ -1,0 +1,115 @@
+//! Counting allocator harness for zero-allocation assertions.
+//!
+//! The engine's steady-state claim — *zero heap allocations per
+//! dispatched event after warm-up* — is enforced by a test, not by
+//! inspection. [`CountingAlloc`] wraps the system allocator and counts
+//! every allocation event; a test binary installs it as its
+//! `#[global_allocator]`, runs the workload past warm-up, snapshots the
+//! counters, runs the measurement window, and asserts the delta:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: taichi_sim::alloc::CountingAlloc =
+//!     taichi_sim::alloc::CountingAlloc;
+//!
+//! let before = taichi_sim::alloc::snapshot();
+//! run_steady_state_window();
+//! let delta = taichi_sim::alloc::snapshot().since(before);
+//! assert_eq!(delta.allocation_events(), 0);
+//! ```
+//!
+//! Counters are process-global relaxed atomics: cheap enough to leave
+//! enabled for a whole benchmark run, and exact in the single-threaded
+//! sections where the assertions are made. `realloc` counts as an
+//! allocation event (growing a `Vec` in the hot loop is exactly the
+//! regression the harness exists to catch).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]`-installable wrapper around [`System`] that
+/// counts allocation traffic. Zero-sized; install it in the binary
+/// that wants the accounting.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter updates have no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Fresh allocations (`alloc` + `alloc_zeroed`).
+    pub allocs: u64,
+    /// Reallocations (`Vec` growth and friends).
+    pub reallocs: u64,
+    /// Deallocations.
+    pub deallocs: u64,
+    /// Bytes requested across allocs and reallocs.
+    pub bytes: u64,
+}
+
+impl AllocCounters {
+    /// Allocation *events*: anything that could touch the heap
+    /// allocator for new space. This is the number the steady-state
+    /// assertion pins to zero.
+    pub fn allocation_events(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+
+    /// Counter deltas accumulated since `earlier`.
+    pub fn since(&self, earlier: AllocCounters) -> AllocCounters {
+        AllocCounters {
+            allocs: self.allocs - earlier.allocs,
+            reallocs: self.reallocs - earlier.reallocs,
+            deallocs: self.deallocs - earlier.deallocs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Reads the current counter values. Meaningful only in a binary that
+/// installed [`CountingAlloc`] as its global allocator — otherwise all
+/// counters stay zero.
+pub fn snapshot() -> AllocCounters {
+    AllocCounters {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        reallocs: REALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// True when the counters have recorded any traffic, i.e. the wrapper
+/// is actually installed in this process.
+pub fn is_installed() -> bool {
+    snapshot().allocation_events() > 0
+}

@@ -131,14 +131,23 @@ impl Dist {
     ///
     /// [`Dist::sample`] re-derives dependent parameters on every draw
     /// (the log-normal location `mu = ln(mean) - sigma²/2` costs a
-    /// transcendental per call). Loops that sample the same
-    /// distribution millions of times prepare it once; the prepared
-    /// sampler draws bit-identical values in the same stream positions.
+    /// transcendental per call), and its Box–Muller step discards the
+    /// second normal of every generated pair. Loops that sample the
+    /// same distribution millions of times prepare it once: the
+    /// prepared log-normal keeps `mu` hoisted **and** caches the spare
+    /// Box–Muller value, halving the transcendental cost per draw.
+    ///
+    /// Still fully deterministic — the values are a pure function of
+    /// the `Rng` stream and the call sequence — but the prepared
+    /// sampler consumes uniforms at a different rate than
+    /// [`Dist::sample`], so the two produce different (identically
+    /// distributed) realizations from the same stream.
     pub fn prepared(&self) -> PreparedDist {
         match self {
             Dist::LogNormal { mean, sigma } => PreparedDist::LogNormal {
                 mu: mean.ln() - sigma * sigma / 2.0,
                 sigma: *sigma,
+                spare: None,
             },
             other => PreparedDist::Plain(other.clone()),
         }
@@ -217,28 +226,44 @@ impl Dist {
     }
 }
 
-/// A distribution with per-sample constants hoisted (see
-/// [`Dist::prepared`]).
+/// A distribution with per-sample constants hoisted and the Box–Muller
+/// pair cached (see [`Dist::prepared`]).
 ///
-/// Draws the same values at the same stream positions as the `Dist` it
-/// was prepared from; only the derivation of constant parameters moves
-/// out of the sampling loop.
+/// Deterministic given the `Rng` stream and the call sequence, but not
+/// draw-for-draw identical to [`Dist::sample`]: the prepared log-normal
+/// consumes one uniform pair per **two** samples.
 #[derive(Clone, Debug)]
 pub enum PreparedDist {
-    /// Log-normal with the location parameter already derived.
-    LogNormal { mu: f64, sigma: f64 },
+    /// Log-normal with the location parameter already derived and the
+    /// second normal of each Box–Muller pair banked for the next draw.
+    LogNormal {
+        mu: f64,
+        sigma: f64,
+        spare: Option<f64>,
+    },
     /// Any other family (no per-sample constants worth hoisting).
     Plain(Dist),
 }
 
 impl PreparedDist {
-    /// Draws one sample; bit-identical to [`Dist::sample`] on the
-    /// source distribution.
-    pub fn sample(&self, rng: &mut Rng) -> f64 {
+    /// Draws one sample. `&mut self` because the log-normal banks the
+    /// spare Box–Muller value between calls — the dominant cost of a
+    /// normal draw is the `ln`/`sqrt`/`sin_cos` triple, and using both
+    /// halves of the pair amortizes it over two samples (the two halves
+    /// are independent standard normals, so the distribution is
+    /// unchanged).
+    pub fn sample(&mut self, rng: &mut Rng) -> f64 {
         match self {
-            PreparedDist::LogNormal { mu, sigma } => {
-                let z = sample_standard_normal(rng);
-                (mu + sigma * z).exp().max(0.0)
+            PreparedDist::LogNormal { mu, sigma, spare } => {
+                let z = match spare.take() {
+                    Some(z) => z,
+                    None => {
+                        let (z1, z2) = sample_standard_normal_pair(rng);
+                        *spare = Some(z2);
+                        z1
+                    }
+                };
+                (*mu + *sigma * z).exp().max(0.0)
             }
             PreparedDist::Plain(d) => d.sample(rng),
         }
@@ -251,6 +276,17 @@ fn sample_standard_normal(rng: &mut Rng) -> f64 {
     let u1 = rng.next_f64_open();
     let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The full Box–Muller transform: both independent standard normals
+/// from one uniform pair (the first matches [`sample_standard_normal`]
+/// on the same stream position).
+fn sample_standard_normal_pair(rng: &mut Rng) -> (f64, f64) {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+    (r * cos, r * sin)
 }
 
 /// Samples from a piecewise-uniform empirical distribution.

@@ -2,34 +2,81 @@
 //!
 //! The queue orders events by `(time, sequence)` so that events scheduled
 //! at the same instant fire in insertion order — a hard requirement for
-//! reproducibility. Cancellation is lazy: [`EventQueue::schedule`]
-//! returns an [`EventToken`]; cancelled entries stay in the heap and are
-//! discarded when they surface.
+//! reproducibility. [`EventQueue::schedule`] returns an [`EventToken`]
+//! usable for cancellation.
 //!
 //! # Generation-stamped slots
 //!
 //! This is the simulator's hottest structure (every machine event goes
 //! through one schedule and one pop), so the schedule/pop/cancel path
-//! performs **zero hash lookups**. Each heap entry is stamped with a
-//! *slot* in a slab; the slot records a generation counter, a cancelled
-//! bit, and owns the event payload (the heap itself only shuffles
-//! 20-byte `(time, seq, slot)` keys, however large `E` is):
+//! performs **zero hash lookups**. Every scheduling backend shares one
+//! *slab*: each queued entry is stamped with a slot; the slot records a
+//! generation counter, a cancelled bit, and owns the event payload (the
+//! ordering structures only shuffle small fixed-size keys, however
+//! large `E` is):
 //!
 //! - `schedule` takes a free slot (or grows the slab) and returns a
 //!   token carrying `(slot, generation)`.
 //! - `cancel` compares the token's generation against the slot: a match
-//!   means the entry is still in the heap, so the cancelled bit is
-//!   flipped — O(1), no search. A mismatch means the event already
-//!   fired (or was swept), so the cancel reports `false` and records
-//!   nothing.
-//! - `pop` bumps the slot generation when an entry leaves the heap
+//!   means the entry is still queued and it is cancelled; a mismatch
+//!   means the event already fired (or was swept), so the cancel
+//!   reports `false` and records nothing.
+//! - popping bumps the slot generation when an entry leaves the queue
 //!   (fired or swept), recycling the slot and invalidating any stale
 //!   tokens.
 //!
-//! The heap top is kept live (never cancelled) by sweeping in `pop` and
-//! `cancel`, which makes [`EventQueue::peek_time`] a true `&self` read.
-//! Cancelled entries *below* the top stay untouched until they surface,
-//! so the cancellation backlog is always bounded by the heap size.
+//! # Backends: hierarchical timing wheel vs. binary heap
+//!
+//! Two interchangeable scheduling cores sit on top of the slab,
+//! selected by the `TAICHI_QUEUE` environment variable (`wheel`, the
+//! default, or `heap`) or programmatically via
+//! [`EventQueue::with_backend`]. Both produce **identical observable
+//! behaviour** — the same `(time, seq)` pop order, the same `cancel`
+//! return values, the same `peek_time` — so traces, stats, and CSVs are
+//! byte-identical across backends for the same seed. (The only
+//! backend-dependent observable is the diagnostic
+//! [`EventQueue::cancelled_backlog`], which reflects how lazily each
+//! backend disposes of cancelled entries.)
+//!
+//! **Heap**: a binary min-heap of keys with lazy cancellation (flipped
+//! bit, discarded when the entry surfaces). The heap top is kept live
+//! by sweeping in `pop` and `cancel`, so `peek_time` is a plain O(1)
+//! `&self` read. O(log n) per operation.
+//!
+//! **Wheel** (default): a hierarchical timing wheel (calendar queue)
+//! tuned for the simulator's actual event mix — dense, near-future
+//! timers (softirq deadlines, burst completions, probe windows, slice
+//! expiries):
+//!
+//! - **Level 0**: 2048 buckets of 64 ns ⇒ a 131 µs window, with an
+//!   occupancy bitmap (one bit per bucket) so the scan jumps straight
+//!   to the next non-empty bucket.
+//! - **Level 1**: 256 buckets of 131 µs ⇒ ~33.6 ms of coverage beyond
+//!   level 0. When the level-0 window advances into a level-1 bucket,
+//!   its entries are redistributed into level-0 buckets.
+//! - **Overflow**: everything beyond level 1 lands in a binary heap of
+//!   keys, promoted into the wheel as the window advances. Far-future
+//!   events are rare by construction, so the heap stays tiny.
+//!
+//! Bucket membership is stored as **intrusive singly-linked lists
+//! threaded through the slab** (each slot carries its key and a `next`
+//! link; a bucket is one `u32` head index). The wheel therefore owns
+//! no per-bucket storage at all: once the slab's free list reaches its
+//! working-set fixed point, schedule/pop/redistribute are strictly
+//! allocation-free — the property the [`crate::alloc`] harness pins
+//! down. A bucket holds the events of one 64 ns instant-range, which
+//! in practice is zero or one entry (occasionally a same-timestamp
+//! burst), so the per-bucket min-scan that restores exact `(time,
+//! seq)` order is a walk over a handful of slots.
+//!
+//! Steady-state schedule/pop on the wheel is O(1), and
+//! [`EventQueue::drain_next_batch`] exposes the calendar structure to
+//! drivers: one wheel access drains an entire same-timestamp burst.
+//!
+//! Cancellation differs structurally: the wheel knows which bucket an
+//! entry lives in (the slab records it), so wheel cancels remove the
+//! entry *eagerly* — except in the overflow heap, where cancellation
+//! stays lazy exactly like the heap backend.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -47,21 +94,63 @@ pub struct EventToken {
     generation: u64,
 }
 
-/// A heap entry carries no payload — only the ordering key and the slot
-/// index. Keeping entries at ~20 bytes matters: sift-up/sift-down in
-/// the binary heap move entries around on every schedule and pop, and
-/// event payloads (which can be an order of magnitude larger) would be
-/// copied log(n) times per operation. Payloads live in the slab and are
-/// written exactly once on schedule and read exactly once on pop.
+/// Scheduling core selection (see the module docs). The default —
+/// and the `TAICHI_QUEUE` fallback — is the timing wheel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Hierarchical timing wheel with heap overflow (the default).
+    #[default]
+    Wheel,
+    /// Binary min-heap with lazy cancellation (the PR 2 engine).
+    Heap,
+}
+
+impl QueueBackend {
+    /// Resolves the backend from the `TAICHI_QUEUE` environment
+    /// variable: `wheel` (or unset/empty) and `heap` are accepted; an
+    /// unrecognized value warns to stderr and falls back to the wheel,
+    /// mirroring the `TAICHI_SEED` convention — silently ignoring a
+    /// typoed selector would fake a backend comparison.
+    pub fn from_env() -> QueueBackend {
+        match std::env::var("TAICHI_QUEUE") {
+            Ok(s) => match s.trim() {
+                "" | "wheel" => QueueBackend::Wheel,
+                "heap" => QueueBackend::Heap,
+                other => {
+                    eprintln!(
+                        "warning: TAICHI_QUEUE={other:?} is not a known queue backend \
+                         (expected \"wheel\" or \"heap\"); using the wheel"
+                    );
+                    QueueBackend::Wheel
+                }
+            },
+            Err(_) => QueueBackend::Wheel,
+        }
+    }
+}
+
+/// A heap entry carries no payload — only the key and the slot index.
+/// Keeping entries at ~20 bytes matters: heap sifts move entries
+/// around, and event payloads (which can be an order of magnitude
+/// larger) would be copied repeatedly. Payloads live in the slab and
+/// are written exactly once on schedule and read exactly once on pop.
+#[derive(Clone, Copy)]
 struct Entry {
     time: SimTime,
     seq: u64,
     slot: u32,
 }
 
+impl Entry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 
@@ -76,31 +165,223 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for min-heap behaviour on BinaryHeap (a max-heap).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
-/// Per-slot bookkeeping. A slot is bound to exactly one heap entry at a
-/// time; the generation distinguishes successive occupants. The slot
-/// also owns the entry's payload (see [`Entry`]).
+/// Where an entry currently lives, recorded in its slab slot so wheel
+/// cancels can remove it eagerly without a search.
+const LOC_NONE: u32 = u32::MAX;
+/// The entry sits in the overflow heap (lazy cancellation).
+const LOC_OVERFLOW: u32 = u32::MAX - 1;
+
+/// Intrusive-list terminator.
+const NIL: u32 = u32::MAX;
+
+/// Slab capacity reserved at construction, sized so the in-flight
+/// high-water mark of a full machine (a few hundred events) never
+/// forces a mid-run doubling.
+const INITIAL_SLOTS: usize = 1024;
+
+/// Per-slot bookkeeping. A slot is bound to exactly one queued entry at
+/// a time; the generation distinguishes successive occupants. The slot
+/// owns the entry's payload and — for the wheel backend — carries the
+/// ordering key and the intrusive bucket-list link, so the wheel needs
+/// no storage of its own.
 struct Slot<E> {
     generation: u64,
     cancelled: bool,
+    /// Wheel backend only: `LOC_OVERFLOW`, a level-0 bucket index
+    /// (`0..N0`), or `N0 +` a level-1 bucket index. `LOC_NONE` for the
+    /// heap backend and for free slots.
+    loc: u32,
+    /// Ordering key, valid while queued (wheel backend).
+    time: SimTime,
+    seq: u64,
+    /// Next slot in the same bucket's intrusive list, or [`NIL`].
+    next: u32,
     event: Option<E>,
+}
+
+// --------------------------------------------------------------------
+// Timing-wheel geometry.
+// --------------------------------------------------------------------
+
+/// Level-0 bucket granularity: 2^6 = 64 ns.
+const G0_BITS: u32 = 6;
+/// Level-0 bucket count: 2^11 = 2048 buckets ⇒ 131.072 µs window.
+const L0_BITS: u32 = 11;
+const N0: usize = 1 << L0_BITS;
+/// Level-1 bucket granularity = the whole level-0 span (2^17 ns).
+const G1_BITS: u32 = G0_BITS + L0_BITS;
+const G1: u64 = 1 << G1_BITS;
+/// Level-1 bucket count: 2^8 = 256 ⇒ ~33.55 ms of coverage.
+const L1_BITS: u32 = 8;
+const N1: usize = 1 << L1_BITS;
+
+const L0_WORDS: usize = N0 / 64;
+const L1_WORDS: usize = N1 / 64;
+
+/// The hierarchical wheel core. All invariants are phrased against
+/// `l0_end`, the exclusive upper bound of level-0 coverage (always a
+/// multiple of [`G1`]):
+///
+/// - every queued entry with `time < l0_end` is in a level-0 bucket,
+///   and all level-0 times fall in `[l0_end - G1, l0_end)` (one 64 ns
+///   instant-range per bucket — the bitmap scan order *is* the time
+///   order);
+/// - every entry with `l0_end <= time < h1` (where
+///   `h1 = l0_end + (N1-1)·G1`) is in a level-1 bucket;
+/// - everything at `time >= h1` is in the overflow heap, and `l0_end`
+///   only moves forward, so overflow entries are promoted exactly once;
+/// - no cancelled entry is ever linked into a level-0/level-1 bucket
+///   (wheel cancellation is eager there).
+struct Wheel {
+    l0_head: [u32; N0],
+    l0_mask: [u64; L0_WORDS],
+    l0_count: usize,
+    l1_head: [u32; N1],
+    l1_mask: [u64; L1_WORDS],
+    l1_count: usize,
+    /// Exclusive upper bound of level-0 coverage (multiple of `G1`).
+    l0_end: u64,
+    overflow: BinaryHeap<Entry>,
+}
+
+impl Wheel {
+    fn new() -> Box<Self> {
+        Box::new(Wheel {
+            l0_head: [NIL; N0],
+            l0_mask: [0; L0_WORDS],
+            l0_count: 0,
+            l1_head: [NIL; N1],
+            l1_mask: [0; L1_WORDS],
+            l1_count: 0,
+            l0_end: G1,
+            overflow: BinaryHeap::new(),
+        })
+    }
+
+    /// Exclusive upper bound of level-1 coverage.
+    #[inline]
+    fn h1(&self) -> u64 {
+        self.l0_end + (N1 as u64 - 1) * G1
+    }
+
+    #[inline]
+    fn l0_bucket(t: u64) -> usize {
+        (t >> G0_BITS) as usize & (N0 - 1)
+    }
+
+    #[inline]
+    fn l1_bucket(t: u64) -> usize {
+        (t >> G1_BITS) as usize & (N1 - 1)
+    }
+}
+
+/// Finds the first set bit at or after `start` (wrapping) in a bitmap.
+#[inline]
+fn find_set_from(mask: &[u64], start: usize) -> Option<usize> {
+    let words = mask.len();
+    let w = start / 64;
+    let first = mask[w] & (!0u64 << (start % 64));
+    if first != 0 {
+        return Some(w * 64 + first.trailing_zeros() as usize);
+    }
+    for i in 1..=words {
+        let wi = (w + i) % words;
+        if mask[wi] != 0 {
+            return Some(wi * 64 + mask[wi].trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+#[inline]
+fn set_bit(mask: &mut [u64], idx: usize) {
+    mask[idx / 64] |= 1u64 << (idx % 64);
+}
+
+#[inline]
+fn clear_bit(mask: &mut [u64], idx: usize) {
+    mask[idx / 64] &= !(1u64 << (idx % 64));
+}
+
+// Intrusive bucket-list operations, threaded through the slab.
+
+/// Prepends `slot` onto the level-0 bucket covering its time.
+#[inline]
+fn l0_link<E>(wheel: &mut Wheel, slots: &mut [Slot<E>], slot: u32) {
+    let b = Wheel::l0_bucket(slots[slot as usize].time.as_nanos());
+    slots[slot as usize].next = wheel.l0_head[b];
+    slots[slot as usize].loc = b as u32;
+    wheel.l0_head[b] = slot;
+    set_bit(&mut wheel.l0_mask, b);
+    wheel.l0_count += 1;
+}
+
+/// Prepends `slot` onto the level-1 bucket covering its time.
+#[inline]
+fn l1_link<E>(wheel: &mut Wheel, slots: &mut [Slot<E>], slot: u32) {
+    let b = Wheel::l1_bucket(slots[slot as usize].time.as_nanos());
+    slots[slot as usize].next = wheel.l1_head[b];
+    slots[slot as usize].loc = (N0 + b) as u32;
+    wheel.l1_head[b] = slot;
+    set_bit(&mut wheel.l1_mask, b);
+    wheel.l1_count += 1;
+}
+
+/// Finds the `(time, seq)`-minimum of a non-empty bucket list.
+/// Returns `(prev_of_min, min)` where `prev_of_min` is [`NIL`] when
+/// the minimum is the head. Buckets cover one 64 ns (level 0) or
+/// 131 µs (level 1) range and typically hold a single entry, so this
+/// walk is short by construction.
+#[inline]
+fn list_min<E>(slots: &[Slot<E>], head: u32) -> (u32, u32) {
+    let mut best_prev = NIL;
+    let mut best = head;
+    let mut prev = head;
+    let mut cur = slots[head as usize].next;
+    while cur != NIL {
+        let c = &slots[cur as usize];
+        let b = &slots[best as usize];
+        if (c.time, c.seq) < (b.time, b.seq) {
+            best_prev = prev;
+            best = cur;
+        }
+        prev = cur;
+        cur = c.next;
+    }
+    (best_prev, best)
+}
+
+/// Unlinks `slot` (whose predecessor is `prev`, [`NIL`] for the head)
+/// from the bucket list rooted at `head`.
+#[inline]
+fn list_unlink<E>(slots: &mut [Slot<E>], head: &mut u32, prev: u32, slot: u32) {
+    if prev == NIL {
+        debug_assert_eq!(*head, slot);
+        *head = slots[slot as usize].next;
+    } else {
+        slots[prev as usize].next = slots[slot as usize].next;
+    }
+}
+
+enum Core {
+    Heap(BinaryHeap<Entry>),
+    Wheel(Box<Wheel>),
 }
 
 /// A time-ordered queue of events of type `E`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry>,
+    core: Core,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     next_seq: u64,
     /// Pending (non-cancelled) events.
     live: usize,
-    /// Cancelled entries still physically in the heap.
+    /// Cancelled entries still physically queued (heap backend, or the
+    /// wheel's overflow heap).
     cancelled: usize,
     now: SimTime,
 }
@@ -112,16 +393,43 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at time zero.
+    /// Creates an empty queue at time zero, with the backend selected
+    /// by `TAICHI_QUEUE` (the timing wheel unless overridden).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::from_env())
+    }
+
+    /// Creates an empty queue at time zero on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let core = match backend {
+            QueueBackend::Heap => Core::Heap(BinaryHeap::new()),
+            QueueBackend::Wheel => Core::Wheel(Wheel::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            // The slab doubles on demand like any Vec, but a realloc
+            // mid-run is a steady-state allocation the hot loop is
+            // audited against (see the zero_alloc test): a transient
+            // burst that pushes the in-flight high-water mark past the
+            // previous power of two would reallocate long after
+            // warm-up. Reserving a generous slab up front moves that
+            // first-touch growth to construction; full machines peak at
+            // a few hundred in-flight events, so 1024 slots leave ample
+            // headroom without meaningful memory cost.
+            core,
+            slots: Vec::with_capacity(INITIAL_SLOTS),
+            free: Vec::with_capacity(INITIAL_SLOTS),
             next_seq: 0,
             live: 0,
             cancelled: 0,
             now: SimTime::ZERO,
+        }
+    }
+
+    /// The scheduling core this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.core {
+            Core::Heap(_) => QueueBackend::Heap,
+            Core::Wheel(_) => QueueBackend::Wheel,
         }
     }
 
@@ -152,13 +460,33 @@ impl<E> EventQueue<E> {
                 self.slots.push(Slot {
                     generation: 0,
                     cancelled: false,
+                    loc: LOC_NONE,
+                    time,
+                    seq,
+                    next: NIL,
                     event: Some(event),
                 });
                 (self.slots.len() - 1) as u32
             }
         };
         let generation = self.slots[slot as usize].generation;
-        self.heap.push(Entry { time, seq, slot });
+        match &mut self.core {
+            Core::Heap(heap) => heap.push(Entry { time, seq, slot }),
+            Core::Wheel(wheel) => {
+                let s = &mut self.slots[slot as usize];
+                s.time = time;
+                s.seq = seq;
+                let t = time.as_nanos();
+                if t < wheel.l0_end {
+                    l0_link(wheel, &mut self.slots, slot);
+                } else if t < wheel.h1() {
+                    l1_link(wheel, &mut self.slots, slot);
+                } else {
+                    wheel.overflow.push(Entry { time, seq, slot });
+                    self.slots[slot as usize].loc = LOC_OVERFLOW;
+                }
+            }
+        }
         self.live += 1;
         EventToken { slot, generation }
     }
@@ -168,7 +496,9 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the token had not already fired or been
     /// cancelled. Cancelling an already-fired token is a no-op (and
     /// records nothing: the slot generation moved on, so the stale
-    /// token cannot leave residue).
+    /// token cannot leave residue). Identical return values on both
+    /// backends; only the disposal strategy differs (see
+    /// [`EventQueue::cancelled_backlog`]).
     pub fn cancel(&mut self, token: EventToken) -> bool {
         let Some(slot) = self.slots.get_mut(token.slot as usize) else {
             return false;
@@ -176,49 +506,365 @@ impl<E> EventQueue<E> {
         if slot.generation != token.generation || slot.cancelled {
             return false;
         }
-        slot.cancelled = true;
-        self.live -= 1;
-        self.cancelled += 1;
-        // Keep the heap-top-is-live invariant (peek_time is `&self`).
-        self.sweep_top();
+        match &mut self.core {
+            Core::Heap(_) => {
+                slot.cancelled = true;
+                self.live -= 1;
+                self.cancelled += 1;
+                // Keep the heap-top-is-live invariant (peek_time is a
+                // plain `&self` read).
+                self.sweep_heap_top();
+            }
+            Core::Wheel(wheel) => {
+                let loc = slot.loc;
+                if loc == LOC_OVERFLOW {
+                    slot.cancelled = true;
+                    self.live -= 1;
+                    self.cancelled += 1;
+                    self.sweep_overflow_top();
+                } else {
+                    // The slab knows the bucket: remove eagerly so no
+                    // cancelled entry ever sits in the wheel proper.
+                    let (head, mask, count, b) = if (loc as usize) < N0 {
+                        let b = loc as usize;
+                        (
+                            &mut wheel.l0_head[b],
+                            &mut wheel.l0_mask[..],
+                            &mut wheel.l0_count,
+                            b,
+                        )
+                    } else {
+                        let b = loc as usize - N0;
+                        (
+                            &mut wheel.l1_head[b],
+                            &mut wheel.l1_mask[..],
+                            &mut wheel.l1_count,
+                            b,
+                        )
+                    };
+                    let mut prev = NIL;
+                    let mut cur = *head;
+                    while cur != token.slot {
+                        debug_assert_ne!(cur, NIL, "slab loc tracks the live bucket");
+                        prev = cur;
+                        cur = self.slots[cur as usize].next;
+                    }
+                    list_unlink(&mut self.slots, head, prev, token.slot);
+                    if *head == NIL {
+                        clear_bit(mask, b);
+                    }
+                    *count -= 1;
+                    self.live -= 1;
+                    self.retire_slot(token.slot);
+                }
+            }
+        }
         true
     }
 
     /// Pops the next non-cancelled event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let entry = self.heap.pop()?;
-            let (was_cancelled, event) = self.retire_slot(entry.slot);
-            if was_cancelled {
-                continue; // was cancelled; discard and keep looking
+        match &mut self.core {
+            Core::Heap(_) => loop {
+                let Core::Heap(heap) = &mut self.core else {
+                    unreachable!()
+                };
+                let entry = heap.pop()?;
+                let (was_cancelled, event) = self.retire_queued(entry.slot);
+                if was_cancelled {
+                    continue; // was cancelled; discard and keep looking
+                }
+                self.live -= 1;
+                self.now = entry.time;
+                self.sweep_heap_top();
+                let event = event.expect("live slot owns its payload");
+                return Some((entry.time, event));
+            },
+            Core::Wheel(_) => {
+                let (time, slot) = self.wheel_pop_min(SimTime::MAX)?;
+                self.live -= 1;
+                self.now = time;
+                let (_, event) = self.retire_queued(slot);
+                let event = event.expect("wheel entries are never cancelled in place");
+                Some((time, event))
             }
-            self.live -= 1;
-            self.now = entry.time;
-            self.sweep_top();
-            let event = event.expect("live slot owns its payload");
-            return Some((entry.time, event));
+        }
+    }
+
+    /// Pops the next event only if it fires at or before `limit`.
+    ///
+    /// The fused peek+pop the driver loop wants: one queue access per
+    /// event instead of a peek followed by a pop.
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.core {
+            Core::Heap(heap) => {
+                // The heap top is always live (sweep invariant).
+                if heap.peek().map(|e| e.time > limit).unwrap_or(true) {
+                    return None;
+                }
+                self.pop()
+            }
+            Core::Wheel(_) => {
+                let (time, slot) = self.wheel_pop_min(limit)?;
+                self.live -= 1;
+                self.now = time;
+                let (_, event) = self.retire_queued(slot);
+                let event = event.expect("wheel entries are never cancelled in place");
+                Some((time, event))
+            }
+        }
+    }
+
+    /// Drains **every** event at the earliest pending timestamp (if
+    /// that timestamp is `<= limit`) into `out`, returning the
+    /// timestamp and advancing `now` to it. Events the handlers then
+    /// schedule *at the same instant* are deliberately not included:
+    /// they carry later sequence numbers, so they fire on the next call
+    /// — exactly the order a peek/pop loop would produce.
+    ///
+    /// This is the batch form of [`EventQueue::pop_at_or_before`]: on
+    /// the wheel backend a same-timestamp burst costs one bucket scan
+    /// total instead of one per event.
+    ///
+    /// Entries appended to `out` must not be cancelled between the
+    /// drain and their dispatch (their tokens go stale at drain time) —
+    /// the machine driver upholds this by never cancelling machine
+    /// events (it uses generation counters instead).
+    pub fn drain_next_batch(&mut self, limit: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        match &mut self.core {
+            Core::Heap(_) => {
+                let (at, ev) = self.pop_at_or_before(limit)?;
+                out.push(ev);
+                loop {
+                    let Core::Heap(heap) = &mut self.core else {
+                        unreachable!()
+                    };
+                    // Top is live; same-time entries pop in seq order.
+                    if heap.peek().map(|e| e.time != at).unwrap_or(true) {
+                        break;
+                    }
+                    let entry = heap.pop().expect("peeked non-empty");
+                    let (_, event) = self.retire_queued(entry.slot);
+                    self.live -= 1;
+                    out.push(event.expect("live slot owns its payload"));
+                    self.sweep_heap_top();
+                }
+                Some(at)
+            }
+            Core::Wheel(_) => {
+                let (at, slot) = self.wheel_pop_min(limit)?;
+                self.live -= 1;
+                self.now = at;
+                let (_, event) = self.retire_queued(slot);
+                out.push(event.expect("wheel entries are never cancelled in place"));
+                // Same-timestamp events necessarily share the level-0
+                // bucket: drain them without rescanning the bitmap.
+                // While the bucket minimum still fires at `at`, it is
+                // the next-in-seq event of the batch.
+                let b = Wheel::l0_bucket(at.as_nanos());
+                loop {
+                    let Core::Wheel(wheel) = &mut self.core else {
+                        unreachable!()
+                    };
+                    let head = wheel.l0_head[b];
+                    if head == NIL {
+                        break;
+                    }
+                    let (prev, min) = list_min(&self.slots, head);
+                    if self.slots[min as usize].time != at {
+                        break;
+                    }
+                    list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, min);
+                    if wheel.l0_head[b] == NIL {
+                        clear_bit(&mut wheel.l0_mask, b);
+                    }
+                    wheel.l0_count -= 1;
+                    self.live -= 1;
+                    let (_, event) = self.retire_queued(min);
+                    out.push(event.expect("wheel entries are never cancelled in place"));
+                }
+                Some(at)
+            }
         }
     }
 
     /// Returns the time of the next pending event without popping it.
     ///
-    /// The heap top is never a cancelled entry (`pop` and `cancel`
-    /// sweep), so this is a plain O(1) read.
+    /// Heap backend: the top is never cancelled (`pop` and `cancel`
+    /// sweep), so this is a plain O(1) read. Wheel backend: a read-only
+    /// bucket scan (no cancelled entry ever sits in the wheel, and the
+    /// overflow top is kept live by the same sweeps).
     pub fn peek_time(&self) -> Option<SimTime> {
-        debug_assert!(self
-            .heap
-            .peek()
-            .map(|e| !self.slots[e.slot as usize].cancelled)
-            .unwrap_or(true));
-        self.heap.peek().map(|e| e.time)
+        match &self.core {
+            Core::Heap(heap) => {
+                debug_assert!(heap
+                    .peek()
+                    .map(|e| !self.slots[e.slot as usize].cancelled)
+                    .unwrap_or(true));
+                heap.peek().map(|e| e.time)
+            }
+            Core::Wheel(wheel) => {
+                if wheel.l0_count > 0 {
+                    let start = Wheel::l0_bucket(self.now.as_nanos().max(wheel.l0_end - G1));
+                    let b = find_set_from(&wheel.l0_mask, start).expect("l0_count > 0");
+                    let (_, min) = list_min(&self.slots, wheel.l0_head[b]);
+                    return Some(self.slots[min as usize].time);
+                }
+                if wheel.l1_count > 0 {
+                    // The global minimum is in the first occupied
+                    // level-1 bucket in ring order from the window
+                    // (bucket time-ranges are monotone from there, and
+                    // all overflow times are larger still).
+                    let start = Wheel::l1_bucket(wheel.l0_end);
+                    let b = find_set_from(&wheel.l1_mask, start).expect("l1_count > 0");
+                    let (_, min) = list_min(&self.slots, wheel.l1_head[b]);
+                    return Some(self.slots[min as usize].time);
+                }
+                debug_assert!(wheel
+                    .overflow
+                    .peek()
+                    .map(|e| !self.slots[e.slot as usize].cancelled)
+                    .unwrap_or(true));
+                wheel.overflow.peek().map(|e| e.time)
+            }
+        }
     }
 
-    /// Frees `slot` for reuse, invalidating outstanding tokens.
-    /// Returns whether the retiring entry had been cancelled, plus the
+    /// Wheel backend: unlinks and returns `(time, slot)` of the
+    /// minimum entry if its time is `<= limit`, advancing the level-0
+    /// window (draining level-1 buckets, promoting overflow entries)
+    /// as needed. Advancing only happens when the result is actually
+    /// popped — a `None` return leaves the window untouched, so `now`
+    /// can never fall behind the level-0 coverage.
+    fn wheel_pop_min(&mut self, limit: SimTime) -> Option<(SimTime, u32)> {
+        loop {
+            let Core::Wheel(wheel) = &mut self.core else {
+                unreachable!("wheel_pop_min on heap backend")
+            };
+            if wheel.l0_count > 0 {
+                let start = Wheel::l0_bucket(self.now.as_nanos().max(wheel.l0_end - G1));
+                let b = find_set_from(&wheel.l0_mask, start).expect("l0_count > 0");
+                let (prev, min) = list_min(&self.slots, wheel.l0_head[b]);
+                let time = self.slots[min as usize].time;
+                if time > limit {
+                    return None;
+                }
+                list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, min);
+                if wheel.l0_head[b] == NIL {
+                    clear_bit(&mut wheel.l0_mask, b);
+                }
+                wheel.l0_count -= 1;
+                return Some((time, min));
+            }
+            if wheel.l1_count > 0 {
+                // The global minimum lives in the first occupied
+                // level-1 bucket in ring order (bucket time-ranges are
+                // monotone from the window position).
+                let cur = Wheel::l1_bucket(wheel.l0_end);
+                let b = find_set_from(&wheel.l1_mask, cur).expect("l1_count > 0");
+                let (_, min) = list_min(&self.slots, wheel.l1_head[b]);
+                if self.slots[min as usize].time > limit {
+                    // Check BEFORE advancing: a limited pop must leave
+                    // the window where `now` can still reach it, or a
+                    // later schedule could alias into a stale bucket.
+                    return None;
+                }
+                // Advance the window to the target bucket and
+                // redistribute it into level 0 (ring distance in G1
+                // steps from the current window position).
+                let steps = (b + N1 - cur) % N1;
+                let new_end = wheel.l0_end + (steps as u64 + 1) * G1;
+                self.wheel_advance_to(new_end);
+                continue;
+            }
+            // Both wheel levels empty: jump to the overflow minimum.
+            self.sweep_overflow_top();
+            let Core::Wheel(wheel) = &mut self.core else {
+                unreachable!()
+            };
+            let head = wheel.overflow.peek()?;
+            if head.time > limit {
+                return None;
+            }
+            let t = head.time.as_nanos();
+            let new_end = (t >> G1_BITS << G1_BITS) + G1;
+            self.wheel_advance_to(new_end);
+        }
+    }
+
+    /// Moves the level-0 window forward so that its exclusive end is
+    /// `new_end` (a multiple of `G1`), draining the level-1 buckets the
+    /// window passes over and promoting overflow entries into the
+    /// freshly uncovered level-1 range. Cancelled overflow entries are
+    /// retired instead of promoted — the wheel proper never holds a
+    /// cancelled entry.
+    fn wheel_advance_to(&mut self, new_end: u64) {
+        loop {
+            let Core::Wheel(wheel) = &mut self.core else {
+                unreachable!()
+            };
+            if wheel.l0_end >= new_end {
+                break;
+            }
+            let end = wheel.l0_end + G1;
+            // Drain the level-1 bucket covering [l0_end, end) into
+            // level 0. List order is irrelevant: the per-bucket
+            // min-scan re-establishes (time, seq) order.
+            let b1 = Wheel::l1_bucket(wheel.l0_end);
+            let mut cur = wheel.l1_head[b1];
+            if cur != NIL {
+                wheel.l1_head[b1] = NIL;
+                clear_bit(&mut wheel.l1_mask, b1);
+                while cur != NIL {
+                    let nxt = self.slots[cur as usize].next;
+                    debug_assert!(self.slots[cur as usize].time.as_nanos() >= wheel.l0_end);
+                    debug_assert!(self.slots[cur as usize].time.as_nanos() < end);
+                    wheel.l1_count -= 1;
+                    l0_link(wheel, &mut self.slots, cur);
+                    cur = nxt;
+                }
+            }
+            wheel.l0_end = end;
+            // The level-1 horizon moved with the window: promote
+            // overflow entries that now fall under it.
+            let h1 = wheel.h1();
+            while let Some(head) = wheel.overflow.peek() {
+                if head.time.as_nanos() >= h1 {
+                    break;
+                }
+                let entry = wheel.overflow.pop().expect("peeked non-empty");
+                let slot = entry.slot;
+                if self.slots[slot as usize].cancelled {
+                    // Lazily cancelled while parked in overflow:
+                    // retire the slot in place (inlined so the wheel
+                    // borrow from `self.core` stays disjoint).
+                    self.cancelled -= 1;
+                    let s = &mut self.slots[slot as usize];
+                    s.generation += 1;
+                    s.loc = LOC_NONE;
+                    s.next = NIL;
+                    s.cancelled = false;
+                    s.event = None;
+                    self.free.push(slot);
+                    continue;
+                }
+                if entry.time.as_nanos() < wheel.l0_end {
+                    l0_link(wheel, &mut self.slots, slot);
+                } else {
+                    l1_link(wheel, &mut self.slots, slot);
+                }
+            }
+        }
+    }
+
+    /// Retires the slab slot of an entry leaving the queue structure,
+    /// returning whether it had been (lazily) cancelled plus the
     /// payload the slot owned.
-    fn retire_slot(&mut self, slot: u32) -> (bool, Option<E>) {
+    fn retire_queued(&mut self, slot: u32) -> (bool, Option<E>) {
         let s = &mut self.slots[slot as usize];
         s.generation += 1;
+        s.loc = LOC_NONE;
+        s.next = NIL;
         let event = s.event.take();
         let was_cancelled = std::mem::replace(&mut s.cancelled, false);
         if was_cancelled {
@@ -228,15 +874,49 @@ impl<E> EventQueue<E> {
         (was_cancelled, event)
     }
 
+    /// Frees `slot` for reuse, invalidating outstanding tokens (eager
+    /// wheel cancellation: the entry is already out of the structure).
+    fn retire_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.generation += 1;
+        s.loc = LOC_NONE;
+        s.next = NIL;
+        s.cancelled = false;
+        s.event = None;
+        self.free.push(slot);
+    }
+
     /// Discards cancelled entries sitting at the heap top so that the
-    /// top is always live.
-    fn sweep_top(&mut self) {
-        while let Some(top) = self.heap.peek() {
+    /// top is always live (heap backend).
+    fn sweep_heap_top(&mut self) {
+        loop {
+            let Core::Heap(heap) = &mut self.core else {
+                return;
+            };
+            let Some(top) = heap.peek() else { return };
             if !self.slots[top.slot as usize].cancelled {
-                break;
+                return;
             }
-            let entry = self.heap.pop().expect("peeked non-empty");
-            self.retire_slot(entry.slot);
+            let entry = heap.pop().expect("peeked non-empty");
+            self.retire_queued(entry.slot);
+        }
+    }
+
+    /// Discards cancelled entries sitting at the overflow-heap top
+    /// (wheel backend), so overflow peeks always see a live entry.
+    fn sweep_overflow_top(&mut self) {
+        loop {
+            let Core::Wheel(wheel) = &mut self.core else {
+                return;
+            };
+            let Some(top) = wheel.overflow.peek() else {
+                return;
+            };
+            if !self.slots[top.slot as usize].cancelled {
+                return;
+            }
+            let entry = wheel.overflow.pop().expect("peeked non-empty");
+            self.retire_queued(entry.slot);
         }
     }
 
@@ -245,8 +925,10 @@ impl<E> EventQueue<E> {
         self.live
     }
 
-    /// Cancellation records not yet swept from the heap (diagnostics;
-    /// always bounded by the number of heap entries).
+    /// Cancellation records not yet swept out of the queue structures
+    /// (diagnostics; always bounded by the number of queued entries).
+    /// Backend-dependent: the heap cancels lazily everywhere, the
+    /// wheel only in its overflow heap.
     pub fn cancelled_backlog(&self) -> usize {
         self.cancelled
     }
@@ -260,79 +942,96 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::SimDuration;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Wheel, QueueBackend::Heap];
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(30), "c");
-        q.schedule(SimTime::from_nanos(10), "a");
-        q.schedule(SimTime::from_nanos(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            q.schedule(SimTime::from_nanos(30), "c");
+            q.schedule(SimTime::from_nanos(10), "a");
+            q.schedule(SimTime::from_nanos(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{be:?}");
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for i in 0..100 {
-            q.schedule(t, i);
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t = SimTime::from_nanos(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{be:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(42), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_nanos(42));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            q.schedule(SimTime::from_nanos(42), ());
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_nanos(42), "{be:?}");
+        }
     }
 
     #[test]
     fn cancellation_skips_event() {
-        let mut q = EventQueue::new();
-        let t1 = q.schedule(SimTime::from_nanos(10), "a");
-        q.schedule(SimTime::from_nanos(20), "b");
-        assert!(q.cancel(t1));
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert!(q.pop().is_none());
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t1 = q.schedule(SimTime::from_nanos(10), "a");
+            q.schedule(SimTime::from_nanos(20), "b");
+            assert!(q.cancel(t1));
+            assert_eq!(q.pop().map(|(_, e)| e), Some("b"), "{be:?}");
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn double_cancel_is_false() {
-        let mut q = EventQueue::new();
-        let t = q.schedule(SimTime::from_nanos(10), ());
-        assert!(q.cancel(t));
-        assert!(!q.cancel(t));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t = q.schedule(SimTime::from_nanos(10), ());
+            assert!(q.cancel(t));
+            assert!(!q.cancel(t), "{be:?}");
+        }
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let t = q.schedule(SimTime::from_nanos(10), ());
-        q.pop();
-        // The token already fired: per the documented contract the
-        // cancel reports failure and records nothing.
-        assert!(!q.cancel(t));
-        assert_eq!(q.cancelled_backlog(), 0);
-        q.schedule(SimTime::from_nanos(20), ());
-        assert!(q.pop().is_some());
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t = q.schedule(SimTime::from_nanos(10), ());
+            q.pop();
+            // The token already fired: per the documented contract the
+            // cancel reports failure and records nothing.
+            assert!(!q.cancel(t), "{be:?}");
+            assert_eq!(q.cancelled_backlog(), 0);
+            q.schedule(SimTime::from_nanos(20), ());
+            assert!(q.pop().is_some());
+        }
     }
 
     #[test]
     fn stale_token_does_not_cancel_slot_reuse() {
         // The slot of a fired event is recycled for the next schedule;
         // the old (stale) token must not cancel the new occupant.
-        let mut q = EventQueue::new();
-        let old = q.schedule(SimTime::from_nanos(10), 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
-        let fresh = q.schedule(SimTime::from_nanos(20), 2);
-        assert!(!q.cancel(old), "stale token must be dead");
-        assert_eq!(q.pop().map(|(_, e)| e), Some(2), "new occupant survives");
-        assert!(!q.cancel(fresh), "fired token is dead too");
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let old = q.schedule(SimTime::from_nanos(10), 1);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+            let fresh = q.schedule(SimTime::from_nanos(20), 2);
+            assert!(!q.cancel(old), "{be:?}: stale token must be dead");
+            assert_eq!(q.pop().map(|(_, e)| e), Some(2), "new occupant survives");
+            assert!(!q.cancel(fresh), "fired token is dead too");
+        }
     }
 
     #[test]
@@ -340,19 +1039,27 @@ mod tests {
         // Regression: cancelling tokens after their events popped used
         // to grow the cancelled set without bound (nothing ever swept
         // those entries). The bookkeeping must stay empty here.
-        let mut q = EventQueue::new();
-        let mut tokens = Vec::new();
-        for i in 0..10_000u64 {
-            tokens.push(q.schedule(SimTime::from_nanos(i + 1), i));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let mut tokens = Vec::new();
+            for i in 0..10_000u64 {
+                tokens.push(q.schedule(SimTime::from_nanos(i + 1), i));
+            }
+            while q.pop().is_some() {}
+            for t in tokens {
+                assert!(!q.cancel(t), "{be:?}");
+            }
+            assert_eq!(q.cancelled_backlog(), 0);
+            assert_eq!(q.len(), 0);
         }
-        while q.pop().is_some() {}
-        for t in tokens {
-            assert!(!q.cancel(t));
-        }
-        assert_eq!(q.cancelled_backlog(), 0);
-        assert_eq!(q.len(), 0);
-        // Pre-fire cancellations below the heap top stay lazily in the
-        // heap (backlog 1) and are swept once their entry surfaces.
+    }
+
+    #[test]
+    fn heap_pre_fire_cancellations_stay_lazy() {
+        // Heap backend: pre-fire cancellations below the heap top stay
+        // lazily in the heap (backlog 1) and are swept once their
+        // entry surfaces.
+        let mut q = EventQueue::with_backend(QueueBackend::Heap);
         q.schedule(SimTime::from_nanos(100_000), 0);
         let b = q.schedule(SimTime::from_nanos(100_001), 1);
         assert!(q.cancel(b));
@@ -363,66 +1070,235 @@ mod tests {
     }
 
     #[test]
-    fn cancel_at_top_sweeps_immediately() {
-        // Cancelling the heap-top entry sweeps it right away so that
-        // peek_time stays a pure &self read.
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_nanos(10), 0);
-        q.schedule(SimTime::from_nanos(20), 1);
-        assert!(q.cancel(a));
+    fn wheel_cancels_are_eager_outside_overflow() {
+        // Wheel backend: a cancel inside the wheel's coverage removes
+        // the entry on the spot — zero backlog — while a far-future
+        // cancel parks lazily in the overflow heap.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.schedule(SimTime::from_nanos(50), 0);
+        let near = q.schedule(SimTime::from_nanos(100_000), 1);
+        let far = q.schedule(SimTime::from_secs(10), 2);
+        q.schedule(SimTime::from_secs(11), 3);
+        assert!(q.cancel(near));
+        assert_eq!(q.cancelled_backlog(), 0, "wheel cancel is eager");
+        assert!(q.cancel(far));
+        assert!(q.cancelled_backlog() <= 1, "overflow cancel may be lazy");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 3]);
         assert_eq!(q.cancelled_backlog(), 0);
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn cancel_at_top_sweeps_immediately() {
+        // Cancelling the front entry keeps peek_time a pure read on
+        // both backends.
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let a = q.schedule(SimTime::from_nanos(10), 0);
+            q.schedule(SimTime::from_nanos(20), 1);
+            assert!(q.cancel(a));
+            assert_eq!(q.cancelled_backlog(), 0, "{be:?}");
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
+        }
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let t1 = q.schedule(SimTime::from_nanos(10), 1);
-        q.schedule(SimTime::from_nanos(20), 2);
-        q.cancel(t1);
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t1 = q.schedule(SimTime::from_nanos(10), 1);
+            q.schedule(SimTime::from_nanos(20), 2);
+            q.cancel(t1);
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(20)), "{be:?}");
+        }
     }
 
     #[test]
     fn peek_time_is_shared_access() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), ());
-        let r: &EventQueue<()> = &q;
-        assert_eq!(r.peek_time(), Some(SimTime::from_nanos(10)));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            q.schedule(SimTime::from_nanos(10), ());
+            let r: &EventQueue<()> = &q;
+            assert_eq!(r.peek_time(), Some(SimTime::from_nanos(10)), "{be:?}");
+        }
+    }
+
+    #[test]
+    fn peek_time_reaches_into_level_one() {
+        // Level 0 empty, next event beyond the level-0 window: the
+        // peek must find it in the level-1 ring without popping.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.schedule(SimTime::from_millis(1), 7);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(7));
     }
 
     #[test]
     fn len_accounts_for_cancellations() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_nanos(1), ());
-        q.schedule(SimTime::from_nanos(2), ());
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let a = q.schedule(SimTime::from_nanos(1), ());
+            q.schedule(SimTime::from_nanos(2), ());
+            q.cancel(a);
+            assert_eq!(q.len(), 1, "{be:?}");
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(10), 1u32);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t.as_nanos(), e), (10, 1));
-        // Schedule relative to the new now.
-        q.schedule(q.now() + crate::time::SimDuration::from_nanos(5), 2u32);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t.as_nanos(), e), (15, 2));
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            q.schedule(SimTime::from_nanos(10), 1u32);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t.as_nanos(), e), (10, 1), "{be:?}");
+            // Schedule relative to the new now.
+            q.schedule(q.now() + SimDuration::from_nanos(5), 2u32);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t.as_nanos(), e), (15, 2));
+        }
     }
 
     #[test]
     fn slab_recycles_slots() {
         // Steady-state schedule/pop churn must not grow the slab.
-        let mut q = EventQueue::new();
-        for i in 0..100_000u64 {
-            q.schedule(SimTime::from_nanos(i + 1), i);
-            q.pop();
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            for i in 0..100_000u64 {
+                q.schedule(SimTime::from_nanos(i + 1), i);
+                q.pop();
+            }
+            assert!(q.slots.len() <= 2, "{be:?}: slab grew to {}", q.slots.len());
         }
-        assert!(q.slots.len() <= 2, "slab grew to {}", q.slots.len());
+    }
+
+    #[test]
+    fn wheel_spans_every_level() {
+        // Events in level 0, level 1, and the overflow heap — popped
+        // back in global time order across the structural boundaries.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let times: Vec<u64> = vec![
+            40,            // level 0
+            5_000,         // level 0
+            200_000,       // level 1 (beyond the initial 131 µs window)
+            10_000_000,    // level 1 (10 ms)
+            50_000_000,    // overflow (50 ms)
+            2_000_000_000, // overflow (2 s)
+        ];
+        let mut shuffled = times.clone();
+        shuffled.reverse();
+        for &t in &shuffled {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, times);
+        assert_eq!(q.now(), SimTime::from_nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn wheel_same_timestamp_fifo_across_levels() {
+        // Same-timestamp events arriving via different routes (direct
+        // level-0 insert vs. level-1/overflow promotion) must still pop
+        // in schedule order.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let t = SimTime::from_millis(40); // starts in overflow
+        q.schedule(t, 0u32); // → overflow
+        q.schedule(SimTime::from_nanos(10), 100); // level 0, pops first
+        let order: Vec<u32> = {
+            // Pop the early event; the window later jumps to 40 ms.
+            let mut out = Vec::new();
+            out.push(q.pop().unwrap().1);
+            q.schedule(t, 1); // still beyond the level-1 horizon → overflow
+            out.push(q.pop().unwrap().1);
+            q.schedule(t, 2); // now == t: direct level-0 insert
+            while let Some((at, e)) = q.pop() {
+                assert_eq!(at, t);
+                out.push(e);
+            }
+            out
+        };
+        assert_eq!(order, vec![100, 0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_next_batch_groups_same_timestamp() {
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t1 = SimTime::from_nanos(100);
+            let t2 = SimTime::from_nanos(200);
+            q.schedule(t1, 1);
+            q.schedule(t2, 10);
+            q.schedule(t1, 2);
+            q.schedule(t1, 3);
+            let mut out = Vec::new();
+            assert_eq!(q.drain_next_batch(SimTime::MAX, &mut out), Some(t1));
+            assert_eq!(out, vec![1, 2, 3], "{be:?}");
+            assert_eq!(q.now(), t1);
+            out.clear();
+            assert_eq!(q.drain_next_batch(SimTime::from_nanos(150), &mut out), None);
+            assert!(out.is_empty());
+            assert_eq!(q.drain_next_batch(SimTime::MAX, &mut out), Some(t2));
+            assert_eq!(out, vec![10]);
+            assert!(q.is_empty());
+            assert_eq!(q.drain_next_batch(SimTime::MAX, &mut out), None);
+        }
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_limit() {
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            q.schedule(SimTime::from_nanos(500), 5);
+            assert!(q.pop_at_or_before(SimTime::from_nanos(400)).is_none());
+            assert_eq!(q.len(), 1, "{be:?}: limited pop must not consume");
+            assert_eq!(
+                q.pop_at_or_before(SimTime::from_nanos(500)).map(|(_, e)| e),
+                Some(5)
+            );
+        }
+    }
+
+    #[test]
+    fn limited_pop_does_not_strand_the_window() {
+        // A limited pop that answers None (next event beyond the
+        // limit, parked in level 1 / overflow) must leave the wheel
+        // able to accept schedules near `now` without aliasing.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.schedule(SimTime::from_nanos(100), 1u32);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.schedule(SimTime::from_millis(25), 2); // level 1
+        q.schedule(SimTime::from_secs(1), 3); // overflow
+        assert!(q.pop_at_or_before(SimTime::from_millis(20)).is_none());
+        // Schedule close to now: must pop before the far ones.
+        q.schedule(SimTime::from_millis(15), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn wheel_window_jump_over_long_gap() {
+        // A lone far-future event forces the window to jump (no
+        // per-bucket crawling): schedule → pop → schedule near the new
+        // now must all stay consistent.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        q.schedule(SimTime::from_secs(3), "far");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        let near = q.now() + SimDuration::from_nanos(64);
+        q.schedule(near, "near");
+        assert_eq!(q.pop().map(|(t, _)| t), Some(near));
+    }
+
+    #[test]
+    fn backend_env_selector_parses() {
+        // Only exercises the parser (the env var itself is process
+        // global and owned by the integration tests).
+        assert_eq!(QueueBackend::default(), QueueBackend::Wheel);
+        let q: EventQueue<()> = EventQueue::with_backend(QueueBackend::Heap);
+        assert_eq!(q.backend(), QueueBackend::Heap);
+        let q: EventQueue<()> = EventQueue::with_backend(QueueBackend::Wheel);
+        assert_eq!(q.backend(), QueueBackend::Wheel);
     }
 }

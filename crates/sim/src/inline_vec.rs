@@ -1,0 +1,150 @@
+//! Allocation-free small vector for hot-path scratch storage.
+//!
+//! [`InlineVec<T, N>`] keeps its first `N` elements in the struct
+//! itself and spills the rest to a heap `Vec` that retains its
+//! capacity across [`InlineVec::clear`]. A long-lived scratch buffer
+//! therefore stops allocating entirely once it has seen its largest
+//! burst — the property the zero-allocation harness
+//! ([`crate::alloc`]) asserts over the whole engine.
+//!
+//! Elements must be `Copy`: that keeps the container trivially safe
+//! (no drop obligations for the inline region) and matches every use —
+//! kernel actions, CPU ids, thread ids — all of which are small plain
+//! values. Reads hand out copies, so callers can iterate while holding
+//! `&mut` access to everything around the buffer.
+
+/// A grow-only vector with `N` inline slots and a reusable heap spill.
+#[derive(Clone, Debug)]
+pub struct InlineVec<T: Copy, const N: usize> {
+    inline: [Option<T>; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// Creates an empty buffer (no heap allocation).
+    pub const fn new() -> Self {
+        InlineVec {
+            inline: [None; N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends one element.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at `index` (panics when out of bounds).
+    #[inline]
+    pub fn get(&self, index: usize) -> T {
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
+        if index < N {
+            self.inline[index].expect("initialized up to len")
+        } else {
+            self.spill[index - N]
+        }
+    }
+
+    /// Iterates the elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        let inline_len = self.len.min(N);
+        self.inline[..inline_len]
+            .iter()
+            .map(|v| v.expect("initialized up to len"))
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Copies the elements into a `Vec` (tests and cold paths).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+
+    /// Empties the buffer, retaining spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        for i in 0..10 {
+            assert_eq!(v.get(i as usize), i as u32);
+        }
+        assert_eq!(v.to_vec(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets_but_reuses() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..6 {
+            v.push(i);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+        v.push(99);
+        assert_eq!(v.to_vec(), vec![99]);
+    }
+
+    #[test]
+    fn inline_boundary_exact() {
+        let mut v: InlineVec<u8, 3> = InlineVec::new();
+        for i in 0..3 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_vec(), vec![0, 1, 2]);
+        v.push(3);
+        assert_eq!(v.get(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_len_panics() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        v.push(1);
+        v.get(1);
+    }
+}

@@ -7,7 +7,12 @@
 //! - [`time`]: a nanosecond-resolution virtual clock ([`SimTime`],
 //!   [`SimDuration`]).
 //! - [`event`]: a deterministic event queue with FIFO tie-breaking and
-//!   lazy cancellation tokens.
+//!   cancellation tokens, backed by a hierarchical timing wheel (or a
+//!   binary heap, selectable via `TAICHI_QUEUE`).
+//! - [`inline_vec`]: an allocation-free small vector for hot-path
+//!   scratch storage.
+//! - [`alloc`]: a counting global-allocator wrapper backing the
+//!   zero-allocations-per-event assertion.
 //! - [`rng`]: a seedable, forkable pseudo-random number generator
 //!   (SplitMix64-seeded xoshiro256**) so simulation runs are
 //!   bit-reproducible across machines and Rust versions.
@@ -27,11 +32,13 @@
 //! Everything here is `std`-only and dependency-free by design: the
 //! reproduction contract requires identical results for identical seeds.
 
+pub mod alloc;
 pub mod check;
 pub mod dist;
 pub mod event;
 pub mod fault;
 pub mod hist;
+pub mod inline_vec;
 pub mod par;
 pub mod report;
 pub mod rng;
@@ -41,9 +48,10 @@ pub mod time;
 pub mod trace;
 
 pub use dist::{Dist, PreparedDist};
-pub use event::{EventQueue, EventToken};
+pub use event::{EventQueue, EventToken, QueueBackend};
 pub use fault::{DegradePolicy, FaultInjector, FaultPlan, FaultStats, IpiFate};
 pub use hist::Histogram;
+pub use inline_vec::InlineVec;
 pub use rng::Rng;
 pub use series::TimeSeries;
 pub use stats::{Counter, OnlineStats, UtilizationMeter};

@@ -1,17 +1,24 @@
-//! Randomized differential test of [`EventQueue`] against a
-//! straight-line reference model.
+//! Randomized differential tests of [`EventQueue`].
 //!
-//! The production queue is a generation-stamped slab over a binary
-//! heap (lazy discard of cancelled entries, eager sweep of the heap
-//! top). The reference below is the *specification*: a sorted list in
-//! `(time, seq)` order where cancellation marks an entry and sweeps
-//! mirror the documented points (on `cancel` and after `pop`, the
-//! leading cancelled run is discarded). Every observable — pop order
-//! and payload, `len`, `cancelled_backlog`, `peek_time`, `is_empty`,
-//! and `cancel`'s return value (including stale tokens after slot
-//! reuse) — must agree at every step of a long random op sequence.
+//! Two layers of checking:
+//!
+//! 1. **Spec model** — a sorted list in `(time, seq)` order with the
+//!    documented sweep points (on `cancel` and after `pop`, the leading
+//!    cancelled run is discarded). Every backend must agree with it on
+//!    pop order and payload, `len`, `peek_time`, `is_empty`, and
+//!    `cancel`'s return value (including stale tokens after slot
+//!    reuse). `cancelled_backlog` is the one backend-dependent
+//!    diagnostic: the spec mirrors the *heap*'s lazy disposal, so that
+//!    assertion is pinned to the heap backend (the wheel removes
+//!    cancelled entries eagerly everywhere but its overflow heap).
+//!
+//! 2. **Wheel-vs-heap differential** (≥100k ops) — the two backends
+//!    run the same interleaved push/cancel/advance sequence, with time
+//!    deltas spread across all three wheel levels and deliberate
+//!    same-timestamp bursts, and must produce identical `(time,
+//!    payload)` pop sequences and identical observables throughout.
 
-use taichi_sim::{EventQueue, EventToken, Rng, SimDuration, SimTime};
+use taichi_sim::{EventQueue, EventToken, QueueBackend, Rng, SimDuration, SimTime};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -102,11 +109,20 @@ impl SpecQueue {
 
 fn check_invariants(q: &EventQueue<u64>, spec: &SpecQueue, step: usize) {
     assert_eq!(q.len(), spec.len(), "len diverged at step {step}");
-    assert_eq!(
-        q.cancelled_backlog(),
-        spec.cancelled_backlog(),
-        "cancelled_backlog diverged at step {step}"
-    );
+    if q.backend() == QueueBackend::Heap {
+        // The spec models the heap's lazy disposal; the wheel disposes
+        // eagerly outside its overflow heap, so its backlog is smaller.
+        assert_eq!(
+            q.cancelled_backlog(),
+            spec.cancelled_backlog(),
+            "cancelled_backlog diverged at step {step}"
+        );
+    } else {
+        assert!(
+            q.cancelled_backlog() <= spec.cancelled_backlog(),
+            "wheel backlog exceeded lazy-disposal bound at step {step}"
+        );
+    }
     assert_eq!(
         q.peek_time(),
         spec.peek_time(),
@@ -119,9 +135,9 @@ fn check_invariants(q: &EventQueue<u64>, spec: &SpecQueue, step: usize) {
     );
 }
 
-fn run_differential(seed: u64, ops: usize) {
+fn run_differential(backend: QueueBackend, seed: u64, ops: usize) {
     let mut rng = Rng::new(seed);
-    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
     let mut spec = SpecQueue::new();
     // All tokens ever issued (live, fired, swept, recycled slots) —
     // cancelling old ones exercises generation staleness after reuse.
@@ -178,9 +194,11 @@ fn run_differential(seed: u64, ops: usize) {
 
 #[test]
 fn event_queue_matches_spec_over_random_ops() {
-    // 3 seeds x 12k ops (plus drains) >= the 10k-op floor each.
-    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
-        run_differential(seed, 12_000);
+    // Both backends x 3 seeds x 12k ops (plus drains).
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+            run_differential(backend, seed, 12_000);
+        }
     }
 }
 
@@ -188,31 +206,129 @@ fn event_queue_matches_spec_over_random_ops() {
 fn event_queue_matches_spec_under_heavy_cancellation() {
     // Skew towards cancels: schedule bursts, then cancel most of them
     // before popping, hammering the sweep + slot-recycling paths.
-    let mut rng = Rng::new(0xCA7);
-    let mut q: EventQueue<u64> = EventQueue::new();
-    let mut spec = SpecQueue::new();
-    let mut step = 0usize;
-    for _round in 0..200 {
-        let mut batch = Vec::new();
-        for _ in 0..32 {
-            let dt = SimDuration::from_nanos(rng.next_below(500));
-            let time = q.now() + dt;
-            let payload = rng.next_u64();
-            batch.push((q.schedule(time, payload), spec.schedule(time, payload)));
-            step += 1;
-            check_invariants(&q, &spec, step);
-        }
-        for (tok, id) in batch {
-            if rng.next_below(4) != 0 {
-                assert_eq!(q.cancel(tok), spec.cancel(id), "cancel diverged");
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let mut rng = Rng::new(0xCA7);
+        let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+        let mut spec = SpecQueue::new();
+        let mut step = 0usize;
+        for _round in 0..200 {
+            let mut batch = Vec::new();
+            for _ in 0..32 {
+                let dt = SimDuration::from_nanos(rng.next_below(500));
+                let time = q.now() + dt;
+                let payload = rng.next_u64();
+                batch.push((q.schedule(time, payload), spec.schedule(time, payload)));
+                step += 1;
+                check_invariants(&q, &spec, step);
+            }
+            for (tok, id) in batch {
+                if rng.next_below(4) != 0 {
+                    assert_eq!(q.cancel(tok), spec.cancel(id), "cancel diverged");
+                    step += 1;
+                    check_invariants(&q, &spec, step);
+                }
+            }
+            for _ in 0..8 {
+                assert_eq!(q.pop(), spec.pop(), "pop diverged at step {step}");
                 step += 1;
                 check_invariants(&q, &spec, step);
             }
         }
-        for _ in 0..8 {
-            assert_eq!(q.pop(), spec.pop(), "pop diverged at step {step}");
-            step += 1;
-            check_invariants(&q, &spec, step);
-        }
     }
+}
+
+/// Draws a time delta that lands across all three wheel levels:
+/// mostly dense near-future (level 0), a healthy share of level-1
+/// distances, and an occasional far-future overflow entry — plus
+/// exact-zero deltas to force same-timestamp FIFO runs.
+fn mixed_delta(rng: &mut Rng) -> SimDuration {
+    match rng.next_below(16) {
+        // Same-instant burst: exercises per-timestamp FIFO.
+        0 => SimDuration::ZERO,
+        // Dense near-future timers (level 0: < 131 us).
+        1..=9 => SimDuration::from_nanos(rng.next_below(100_000)),
+        // Mid-range (level 1: up to ~33 ms).
+        10..=13 => SimDuration::from_nanos(rng.next_below(30_000_000)),
+        // Far future (overflow heap: up to 2 s).
+        _ => SimDuration::from_nanos(rng.next_below(2_000_000_000)),
+    }
+}
+
+/// ≥100k-op wheel-vs-heap differential: identical `(time, payload)`
+/// pop sequences under interleaved push/cancel/advance, including
+/// same-timestamp FIFO and batch drains.
+#[test]
+fn wheel_and_heap_pop_identical_sequences() {
+    const OPS: usize = 120_000;
+    let mut rng = Rng::new(0xD1FF_5EED);
+    let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+    let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+    let mut tokens: Vec<(EventToken, EventToken)> = Vec::new();
+    let mut next_payload = 0u64;
+    let mut pops = 0usize;
+    let mut wheel_batch = Vec::new();
+    let mut heap_batch = Vec::new();
+
+    for step in 0..OPS {
+        match rng.next_below(8) {
+            0..=3 => {
+                // Same-timestamp runs matter most: occasionally push a
+                // small burst at one instant.
+                let burst = if rng.next_below(8) == 0 { 4 } else { 1 };
+                let time = wheel.now() + mixed_delta(&mut rng);
+                for _ in 0..burst {
+                    let payload = next_payload;
+                    next_payload += 1;
+                    tokens.push((wheel.schedule(time, payload), heap.schedule(time, payload)));
+                }
+            }
+            4 if !tokens.is_empty() => {
+                let i = rng.next_below(tokens.len() as u64) as usize;
+                let (wt, ht) = tokens[i];
+                assert_eq!(
+                    wheel.cancel(wt),
+                    heap.cancel(ht),
+                    "cancel return diverged at step {step}"
+                );
+            }
+            5 => {
+                // Batch drain: both backends must group the same
+                // same-timestamp run, in the same order.
+                let limit = wheel.now() + SimDuration::from_nanos(rng.next_below(40_000_000));
+                wheel_batch.clear();
+                heap_batch.clear();
+                let wt = wheel.drain_next_batch(limit, &mut wheel_batch);
+                let ht = heap.drain_next_batch(limit, &mut heap_batch);
+                assert_eq!(wt, ht, "batch timestamp diverged at step {step}");
+                assert_eq!(wheel_batch, heap_batch, "batch diverged at step {step}");
+                pops += wheel_batch.len();
+            }
+            _ => {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "pop diverged at step {step}");
+                pops += usize::from(a.is_some());
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len diverged at step {step}");
+        assert_eq!(
+            wheel.peek_time(),
+            heap.peek_time(),
+            "peek_time diverged at step {step}"
+        );
+        assert_eq!(wheel.now(), heap.now(), "now diverged at step {step}");
+    }
+
+    // Drain both queues completely; tails must match too.
+    loop {
+        let a = wheel.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "pop diverged during final drain");
+        if a.is_none() {
+            break;
+        }
+        pops += 1;
+    }
+    assert!(wheel.is_empty() && heap.is_empty());
+    assert!(pops > 10_000, "differential exercised too few pops: {pops}");
 }
