@@ -78,6 +78,7 @@ fn run(taichi: TaiChiConfig) -> Outcome {
 
 fn main() {
     init_trace();
+    taichi_bench::init_policy();
     // The four ablation configs are independent machine runs: fan
     // them out across workers, results in input order.
     let runs = taichi_bench::sweep(

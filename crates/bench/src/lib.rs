@@ -32,22 +32,18 @@ pub fn emit(name: &str, table: &Table) {
 /// `TAICHI_SEED` environment variable).
 ///
 /// A `TAICHI_SEED` value that fails to parse falls back to the default
-/// with a warning to stderr — silently ignoring a typoed seed would
-/// make a "reproduction" run un-reproducible.
+/// with a one-shot warning to stderr — silently ignoring a typoed seed
+/// would make a "reproduction" run un-reproducible.
 pub fn seed() -> u64 {
-    match std::env::var("TAICHI_SEED") {
-        Ok(s) => match s.trim().parse() {
-            Ok(v) => v,
-            Err(_) => {
-                eprintln!(
-                    "warning: TAICHI_SEED={s:?} is not a valid u64 seed; \
-                     using default 0xD1CE"
-                );
-                0xD1CE
-            }
-        },
-        Err(_) => 0xD1CE,
-    }
+    taichi_sim::env::env_parse_or_warn("TAICHI_SEED", |s| {
+        s.trim().parse().map_err(|_| {
+            format!(
+                "warning: TAICHI_SEED={s:?} is not a valid u64 seed; \
+                 using default 0xD1CE"
+            )
+        })
+    })
+    .unwrap_or(0xD1CE)
 }
 
 /// Re-exported deterministic parallel sweep primitives (see
@@ -77,6 +73,43 @@ pub fn init_trace() -> bool {
         std::env::set_var("TAICHI_TRACE", "");
     }
     on
+}
+
+/// Call first in an experiment `main`: when `--policy <p>` (or
+/// `--policy=<p>`) was passed, validates `p` and arms the
+/// `TAICHI_POLICY` override so every machine the binary builds runs
+/// that scheduling policy regardless of the mode it was built for
+/// (see `taichi_core::sched::PolicyKind`). Returns the selected
+/// policy, `None` when the flag is absent.
+///
+/// An unknown policy name is a hard usage error (exit 2): unlike the
+/// environment variable — where a typo degrades a background knob and
+/// a one-shot warning suffices — an explicit flag that is silently
+/// ignored would render a whole experiment under the wrong scheduler.
+pub fn init_policy() -> Option<taichi_core::PolicyKind> {
+    let mut args = std::env::args().skip(1);
+    let raw = loop {
+        let a = args.next()?;
+        if a == "--policy" {
+            break args.next().unwrap_or_else(|| {
+                eprintln!("error: --policy requires a value (taichi, baseline, or type2)");
+                std::process::exit(2);
+            });
+        }
+        if let Some(v) = a.strip_prefix("--policy=") {
+            break v.to_string();
+        }
+    };
+    match raw.parse::<taichi_core::PolicyKind>() {
+        Ok(kind) => {
+            std::env::set_var("TAICHI_POLICY", kind.to_string());
+            Some(kind)
+        }
+        Err(e) => {
+            eprintln!("error: --policy: {e} (expected taichi, baseline, or type2)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Dumps a machine's scheduler trace as `<name>.trace.tsv` under the

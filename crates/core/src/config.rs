@@ -88,6 +88,14 @@ pub struct MachineConfig {
     /// `TAICHI_FAULTS` environment variable overlays this at machine
     /// construction.
     pub faults: FaultPlan,
+    /// Explicit scheduling-policy override. `None` (the default)
+    /// derives the policy from the run's [`Mode`] — or from the
+    /// `TAICHI_POLICY` environment variable when that is set. `Some`
+    /// wins over both: a machine built for one mode re-resolves to the
+    /// policy's canonical mode (see [`crate::sched::PolicyKind`]).
+    ///
+    /// [`Mode`]: crate::machine::Mode
+    pub policy: Option<crate::sched::PolicyKind>,
 }
 
 impl Default for MachineConfig {
@@ -103,6 +111,7 @@ impl Default for MachineConfig {
             seed: 0xD1CE,
             trace: TraceConfig::default(),
             faults: FaultPlan::default(),
+            policy: None,
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod machine;
 pub mod metrics;
 pub mod orchestrator;
 pub mod probe_sw;
+pub mod sched;
 pub mod slice;
 pub mod vcpu_sched;
 
@@ -39,3 +40,4 @@ pub use audit::{assert_invariants, check_invariants, AuditReport, AuditSession, 
 pub use config::{MachineConfig, TaiChiConfig};
 pub use machine::{FaultHealth, Machine, Mode};
 pub use metrics::RunReport;
+pub use sched::{make_scheduler, KernelCtx, PolicyKind, ReschedulePick, Scheduler};

@@ -30,7 +30,7 @@
 use crate::config::MachineConfig;
 use crate::orchestrator::{IpiOrchestrator, RouteDecision};
 use crate::probe_sw::AdaptiveYield;
-use crate::slice::AdaptiveSlice;
+use crate::sched::{make_scheduler, KernelCtx, PolicyKind, Scheduler};
 use crate::vcpu_sched::VcpuScheduler;
 
 use taichi_cp::{CpTaskKind, TaskFactory, VmCreateRequest, VmStartupTracker};
@@ -196,8 +196,10 @@ pub struct Machine {
     kernel: Kernel,
     orchestrator: IpiOrchestrator,
     vsched: VcpuScheduler,
-    yield_ctl: AdaptiveYield,
-    slice_ctl: AdaptiveSlice,
+    /// The scheduling policy: every decision point below dispatches
+    /// through this trait object over a [`KernelCtx`] view, so
+    /// swapping policies never touches the mechanism.
+    policy: Box<dyn Scheduler>,
 
     services: Vec<DpService>,
     dp_cpu_ids: Vec<CpuId>,
@@ -280,9 +282,39 @@ fn exit_reason_name(reason: VmExitReason) -> &'static str {
     }
 }
 
+/// Builds the policy's [`KernelCtx`] view inline from disjoint machine
+/// fields, so `self.policy.method(&sched_ctx!(self), ..)` borrow-checks
+/// (`policy` mutably, the viewed subsystems immutably).
+macro_rules! sched_ctx {
+    ($m:expr) => {
+        KernelCtx {
+            kernel: &$m.kernel,
+            vsched: &$m.vsched,
+            orchestrator: &$m.orchestrator,
+            probe: &$m.hw_probe,
+            health: &$m.health,
+            now: $m.now,
+        }
+    };
+}
+
 impl Machine {
     /// Builds a machine in the given mode.
+    ///
+    /// An explicit policy selection — `cfg.policy`, or the
+    /// `TAICHI_POLICY` environment variable when the config leaves it
+    /// `None` — wins over `mode` when the two disagree: the machine
+    /// re-resolves to the selected policy's canonical mode. When the
+    /// selection matches the mode's own policy (e.g. `taichi` on any
+    /// Tai Chi ablation mode), the richer mode is kept unchanged, so
+    /// `--policy taichi` never flattens `taichi-vdp` into plain
+    /// `taichi`.
     pub fn new(cfg: MachineConfig, mode: Mode) -> Self {
+        let mode = match cfg.policy.or_else(PolicyKind::from_env) {
+            Some(kind) if PolicyKind::for_mode(mode) != kind => kind.canonical_mode(),
+            _ => mode,
+        };
+        let policy = make_scheduler(mode, &cfg);
         // Borrowed, not cloned: thousands of short-lived machines go
         // through here under `par::sweep`, and the spec is only read
         // during construction.
@@ -298,7 +330,7 @@ impl Machine {
 
         let mut kernel = Kernel::new(cfg.kernel.clone(), &cp_cpu_ids);
         let mut orchestrator = IpiOrchestrator::new(spec.num_cpus);
-        let num_vcpus = if mode.has_taichi() {
+        let num_vcpus = if policy.uses_vcpus() {
             cfg.taichi.num_vcpus
         } else {
             0
@@ -346,7 +378,7 @@ impl Machine {
         }
 
         let mut hw_probe = HwWorkloadProbe::new(spec.num_cpus);
-        if !matches!(mode, Mode::TaiChi | Mode::TaiChiVdp) {
+        if !policy.hw_probe_enabled() {
             hw_probe.set_enabled(false);
         }
 
@@ -382,18 +414,6 @@ impl Machine {
             }
         }
 
-        let yield_ctl = AdaptiveYield::new(
-            spec.num_cpus,
-            cfg.taichi.initial_yield_threshold,
-            cfg.taichi.min_yield_threshold,
-            cfg.taichi.max_yield_threshold,
-        );
-        let slice_ctl = AdaptiveSlice::new(
-            spec.num_cpus,
-            cfg.taichi.initial_slice,
-            cfg.taichi.max_slice,
-        );
-
         let n_v = vcpu_ids.len();
         Machine {
             accel,
@@ -402,8 +422,7 @@ impl Machine {
             kernel,
             orchestrator,
             vsched,
-            yield_ctl,
-            slice_ctl,
+            policy,
             services,
             dp_cpu_ids,
             cp_cpu_ids,
@@ -604,7 +623,7 @@ impl Machine {
         for cpu in self.kernel.known_cpus() {
             self.rearm_kernel(cpu);
         }
-        if self.mode.has_taichi() {
+        if self.policy.uses_vcpus() {
             for i in 0..self.services.len() {
                 let host = self.dp_cpu_ids[i];
                 self.arm_dp_idle(host);
@@ -669,7 +688,7 @@ impl Machine {
     /// task off a CPU, exactly like Linux). This is the same placement
     /// machinery §4.1 uses for the lock-safety CP-pCPU fallback.
     fn fill_idle_cp_hosts(&mut self) {
-        if !self.mode.has_taichi() {
+        if !self.policy.uses_vcpus() {
             return;
         }
         for i in 0..self.cp_cpu_ids.len() {
@@ -680,12 +699,7 @@ impl Machine {
             {
                 continue;
             }
-            let kernel = &self.kernel;
-            let orch = &self.orchestrator;
-            let Some(idx) = self
-                .vsched
-                .pick_runnable(|v| kernel.cpu_has_work(orch.vcpu_cpu_id(v)))
-            else {
+            let Some(idx) = self.policy.pick_vcpu(&sched_ctx!(self)) else {
                 break;
             };
             self.place_vcpu(idx, cp);
@@ -803,7 +817,7 @@ impl Machine {
     // ---------------------------------------------------------------
 
     fn arm_dp_idle(&mut self, host: CpuId) {
-        if !self.mode.has_taichi() {
+        if !self.policy.uses_vcpus() {
             return;
         }
         let Some(si) = self.dp_index(host) else {
@@ -812,7 +826,7 @@ impl Machine {
         if !self.vsched.host_free(host) {
             return;
         }
-        let threshold = self.yield_ctl.threshold(host);
+        let threshold = self.policy.yield_threshold(&sched_ctx!(self), host);
         let Some(t) = self.services[si].idle_notify_time(threshold) else {
             return;
         };
@@ -846,11 +860,7 @@ impl Machine {
             );
             return;
         }
-        let kernel = &self.kernel;
-        let orch = &self.orchestrator;
-        let pick = self
-            .vsched
-            .pick_runnable(|i| kernel.cpu_has_work(orch.vcpu_cpu_id(i)));
+        let pick = self.policy.pick_vcpu(&sched_ctx!(self));
         match pick {
             Some(idx) => self.place_vcpu(idx, host),
             None => {
@@ -946,7 +956,7 @@ impl Machine {
             )
         });
         self.trace(host, TraceKind::VmEnter { vcpu: idx as u32 });
-        let slice = self.slice_ctl.slice(host);
+        let slice = self.policy.grant_slice(&sched_ctx!(self), host);
         let slice_end = self.now + slice;
         self.vsched
             .vcpu_mut(idx)
@@ -1023,11 +1033,10 @@ impl Machine {
         } else {
             reason
         };
-        let slice_before = self.slice_ctl.slice(host);
-        let threshold_before = self.yield_ctl.threshold(host);
-        self.slice_ctl.on_vm_exit(host, effective);
-        self.yield_ctl.on_vm_exit(host, effective);
-        let slice_after = self.slice_ctl.slice(host);
+        let slice_before = self.policy.grant_slice(&sched_ctx!(self), host);
+        let threshold_before = self.policy.yield_threshold(&sched_ctx!(self), host);
+        self.policy.on_vm_exit(&sched_ctx!(self), host, effective);
+        let slice_after = self.policy.grant_slice(&sched_ctx!(self), host);
         if slice_after != slice_before {
             self.trace(
                 host,
@@ -1036,7 +1045,7 @@ impl Machine {
                 },
             );
         }
-        let threshold_after = self.yield_ctl.threshold(host);
+        let threshold_after = self.policy.yield_threshold(&sched_ctx!(self), host);
         if threshold_after != threshold_before {
             self.trace(
                 host,
@@ -1060,7 +1069,7 @@ impl Machine {
                     self.probe_starve[pi] += 1;
                     if d.yield_clamp && self.probe_starve[pi] >= d.starvation_window {
                         self.probe_starve[pi] = 0;
-                        if self.yield_ctl.clamp_to_max(host) {
+                        if self.policy.clamp_yield_to_max(host) {
                             self.health.yield_clamps += 1;
                             self.trace(
                                 host,
@@ -1107,10 +1116,21 @@ impl Machine {
                     cp_hosts.push(c);
                 }
             }
-            if let Some(h) = self.vsched.pick_reschedule_host(&idle_dp, &cp_hosts) {
-                if self.vsched.host_free(h) {
-                    self.trace(h, TraceKind::LockReschedule { vcpu: idx as u32 });
-                    self.place_vcpu(idx, h);
+            // The attempt is counted before the pick (a policy that
+            // finds nowhere to place still attempted), the fallback
+            // when the pick says so — preserving the pre-trait counter
+            // semantics exactly.
+            self.vsched.note_lock_reschedule();
+            let pick = self
+                .policy
+                .pick_reschedule_host(&sched_ctx!(self), &idle_dp, &cp_hosts);
+            if let Some(p) = pick {
+                if p.fallback {
+                    self.vsched.note_lock_fallback();
+                }
+                if self.vsched.host_free(p.host) {
+                    self.trace(p.host, TraceKind::LockReschedule { vcpu: idx as u32 });
+                    self.place_vcpu(idx, p.host);
                 }
             }
             self.scratch_idle_dp = idle_dp;
@@ -1447,9 +1467,14 @@ impl Machine {
         &self.hw_probe
     }
 
-    /// The adaptive yield controller.
+    /// The active scheduling policy (decision layer).
+    pub fn policy(&self) -> &dyn Scheduler {
+        self.policy.as_ref()
+    }
+
+    /// The adaptive yield controller (the active policy's view).
     pub fn yield_ctl(&self) -> &AdaptiveYield {
-        &self.yield_ctl
+        self.policy.yield_view()
     }
 
     /// Completed VM startup times, in completion order.

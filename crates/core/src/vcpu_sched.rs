@@ -1,18 +1,12 @@
-//! vCPU scheduler bookkeeping (§4.1).
+//! vCPU pool bookkeeping (§4.1): the *mechanism* half.
 //!
-//! Owns the vCPU pool, the round-robin runnable queue, and the
-//! host-CPU occupancy map. The event-driven half of the scheduler (the
-//! softirq raising, VM-enter/exit timing, adaptive slice updates) lives
-//! in [`crate::machine`]; this module keeps the pure state so the
-//! policies are unit-testable:
-//!
-//! - **Round-robin selection** of a runnable vCPU for an idle DP CPU —
-//!   a vCPU is runnable when it is descheduled and its kernel CPU has
-//!   work.
-//! - **Safe lock-context rescheduling**: a vCPU preempted inside a lock
-//!   context is immediately re-placed on another idle DP pCPU, falling
-//!   back round-robin onto a dedicated CP pCPU, guaranteeing forward
-//!   progress for spinlock holders (the `P^N` argument of §4.1).
+//! Owns the vCPU pool, the host-CPU occupancy map, and the scheduling
+//! counters. The *decisions* — which runnable vCPU an idle DP CPU is
+//! granted to, and where a lock-holding vCPU is re-placed — live in
+//! the policy layer ([`crate::sched::Scheduler`]); the event-driven
+//! plumbing (softirq raising, VM-enter/exit timing) lives in
+//! [`crate::machine`]. This module keeps the pure state so both stay
+//! unit-testable.
 
 use taichi_hw::CpuId;
 use taichi_sim::Counter;
@@ -22,10 +16,8 @@ use taichi_virt::Vcpu;
 #[derive(Clone, Debug)]
 pub struct VcpuScheduler {
     vcpus: Vec<Vcpu>,
-    rr_next: usize,
     /// Occupancy per physical CPU index.
     occupancy: Vec<Option<usize>>,
-    cp_rr: usize,
     yields: Counter,
     lock_reschedules: Counter,
     lock_fallbacks: Counter,
@@ -37,9 +29,7 @@ impl VcpuScheduler {
     pub fn new(vcpu_ids: &[CpuId], num_physical: u32) -> Self {
         VcpuScheduler {
             vcpus: vcpu_ids.iter().map(|&id| Vcpu::new(id)).collect(),
-            rr_next: 0,
             occupancy: vec![None; num_physical as usize],
-            cp_rr: 0,
             yields: Counter::new(),
             lock_reschedules: Counter::new(),
             lock_fallbacks: Counter::new(),
@@ -81,20 +71,6 @@ impl VcpuScheduler {
         self.occupant(host).is_none()
     }
 
-    /// Picks the next runnable vCPU round-robin: descheduled and with
-    /// pending kernel work.
-    pub fn pick_runnable(&mut self, has_work: impl Fn(usize) -> bool) -> Option<usize> {
-        let n = self.vcpus.len();
-        for step in 0..n {
-            let idx = (self.rr_next + step) % n;
-            if self.vcpus[idx].is_descheduled() && has_work(idx) {
-                self.rr_next = (idx + 1) % n;
-                return Some(idx);
-            }
-        }
-        None
-    }
-
     /// Records a placement of vCPU `idx` on `host` (a DP→CP yield).
     ///
     /// # Panics
@@ -115,25 +91,16 @@ impl VcpuScheduler {
         self.occupancy.get_mut(host.index()).and_then(|s| s.take())
     }
 
-    /// Chooses where to immediately re-place a vCPU that was preempted
-    /// inside a lock context: the first free idle DP CPU, else a CP
-    /// CPU round-robin. Returns `None` only when both lists are empty.
-    pub fn pick_reschedule_host(
-        &mut self,
-        idle_dp_hosts: &[CpuId],
-        cp_hosts: &[CpuId],
-    ) -> Option<CpuId> {
+    /// Counts a lock-context reschedule attempt (§4.1). The machine
+    /// calls this on every attempt, before the policy's pick, so the
+    /// counter also covers attempts that found nowhere to place.
+    pub fn note_lock_reschedule(&mut self) {
         self.lock_reschedules.inc();
-        if let Some(&h) = idle_dp_hosts.iter().find(|h| self.host_free(**h)) {
-            return Some(h);
-        }
-        if cp_hosts.is_empty() {
-            return None;
-        }
+    }
+
+    /// Counts a lock-context reschedule that fell back to a CP pCPU.
+    pub fn note_lock_fallback(&mut self) {
         self.lock_fallbacks.inc();
-        let pick = cp_hosts[self.cp_rr % cp_hosts.len()];
-        self.cp_rr += 1;
-        Some(pick)
     }
 
     /// Total DP→CP yields (placements).
@@ -155,54 +122,10 @@ impl VcpuScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taichi_sim::SimTime;
 
     fn sched(n: usize) -> VcpuScheduler {
         let ids: Vec<CpuId> = (12..12 + n as u32).map(CpuId).collect();
         VcpuScheduler::new(&ids, 12)
-    }
-
-    #[test]
-    fn round_robin_cycles_fairly() {
-        let mut s = sched(3);
-        // All runnable.
-        let picks: Vec<usize> = (0..6)
-            .map(|_| {
-                let i = s.pick_runnable(|_| true).unwrap();
-                // Simulate placing + releasing immediately.
-                i
-            })
-            .collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn skip_vcpus_without_work() {
-        let mut s = sched(3);
-        let pick = s.pick_runnable(|i| i == 2);
-        assert_eq!(pick, Some(2));
-        // RR pointer advanced past 2.
-        let pick2 = s.pick_runnable(|i| i == 2);
-        assert_eq!(pick2, Some(2));
-    }
-
-    #[test]
-    fn placed_vcpu_not_runnable() {
-        let mut s = sched(2);
-        let i = s.pick_runnable(|_| true).unwrap();
-        s.vcpu_mut(i).place(CpuId(0), SimTime::ZERO);
-        s.record_placement(i, CpuId(0));
-        assert_eq!(s.occupant(CpuId(0)), Some(i));
-        assert!(!s.host_free(CpuId(0)));
-        // Only the other vCPU can be picked now.
-        let j = s.pick_runnable(|_| true).unwrap();
-        assert_ne!(i, j);
-    }
-
-    #[test]
-    fn none_when_no_work() {
-        let mut s = sched(4);
-        assert_eq!(s.pick_runnable(|_| false), None);
     }
 
     #[test]
@@ -217,6 +140,8 @@ mod tests {
     fn clear_placement_roundtrip() {
         let mut s = sched(1);
         s.record_placement(0, CpuId(5));
+        assert_eq!(s.occupant(CpuId(5)), Some(0));
+        assert!(!s.host_free(CpuId(5)));
         assert_eq!(s.clear_placement(CpuId(5)), Some(0));
         assert!(s.host_free(CpuId(5)));
         assert_eq!(s.clear_placement(CpuId(5)), None);
@@ -224,38 +149,12 @@ mod tests {
     }
 
     #[test]
-    fn lock_reschedule_prefers_idle_dp() {
+    fn counters_accumulate() {
         let mut s = sched(2);
-        let idle = [CpuId(2), CpuId(5)];
-        let cp = [CpuId(8), CpuId(9)];
-        assert_eq!(s.pick_reschedule_host(&idle, &cp), Some(CpuId(2)));
-        assert_eq!(s.total_lock_reschedules(), 1);
-        assert_eq!(s.total_lock_fallbacks(), 0);
-    }
-
-    #[test]
-    fn lock_reschedule_skips_occupied_dp() {
-        let mut s = sched(2);
-        s.record_placement(0, CpuId(2));
-        let idle = [CpuId(2), CpuId(5)];
-        let cp = [CpuId(8)];
-        assert_eq!(s.pick_reschedule_host(&idle, &cp), Some(CpuId(5)));
-    }
-
-    #[test]
-    fn lock_reschedule_falls_back_round_robin() {
-        let mut s = sched(2);
-        let cp = [CpuId(8), CpuId(9), CpuId(10)];
-        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(8)));
-        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(9)));
-        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(10)));
-        assert_eq!(s.pick_reschedule_host(&[], &cp), Some(CpuId(8)));
-        assert_eq!(s.total_lock_fallbacks(), 4);
-    }
-
-    #[test]
-    fn empty_everything_returns_none() {
-        let mut s = sched(1);
-        assert_eq!(s.pick_reschedule_host(&[], &[]), None);
+        s.note_lock_reschedule();
+        s.note_lock_reschedule();
+        s.note_lock_fallback();
+        assert_eq!(s.total_lock_reschedules(), 2);
+        assert_eq!(s.total_lock_fallbacks(), 1);
     }
 }

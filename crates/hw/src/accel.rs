@@ -85,8 +85,22 @@ pub struct Accelerator {
 
 impl Accelerator {
     /// Creates an idle accelerator.
+    ///
+    /// Panics on a nonsensical timing config: a NaN or negative
+    /// `ns_per_byte` would silently serialize every payload in zero
+    /// time (`f64 as u64` saturates), and zero channels has no issue
+    /// slot to serialize on.
     pub fn new(config: AcceleratorConfig) -> Self {
-        let channels = config.channels.max(1) as usize;
+        assert!(
+            config.ns_per_byte.is_finite() && config.ns_per_byte >= 0.0,
+            "accelerator ns_per_byte must be finite and non-negative, got {}",
+            config.ns_per_byte
+        );
+        assert!(
+            config.channels > 0,
+            "accelerator needs at least one hardware channel"
+        );
+        let channels = config.channels as usize;
         Accelerator {
             config,
             channel_free: vec![SimTime::ZERO; channels],
@@ -291,5 +305,25 @@ mod tests {
         }
         assert_eq!(acc.packets_ingested(), 5);
         assert_eq!(acc.bytes_ingested(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "ns_per_byte must be finite")]
+    fn rejects_nan_line_rate() {
+        let cfg = AcceleratorConfig {
+            ns_per_byte: f64::NAN,
+            ..AcceleratorConfig::default()
+        };
+        let _ = Accelerator::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hardware channel")]
+    fn rejects_zero_channels() {
+        let cfg = AcceleratorConfig {
+            channels: 0,
+            ..AcceleratorConfig::default()
+        };
+        let _ = Accelerator::new(cfg);
     }
 }

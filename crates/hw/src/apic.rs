@@ -127,11 +127,13 @@ impl ApicFabric {
     /// (the CPU is not masked); `false` when it stays pending behind a
     /// mask.
     pub fn deliver(&mut self, cpu: CpuId, vector: IrqVector) -> bool {
-        self.delivered.inc();
         let lapic = match self.lapics.get_mut(cpu.index()) {
             Some(l) => l,
+            // Nothing was delivered: an out-of-range destination must
+            // not inflate `total_delivered`.
             None => return false,
         };
+        self.delivered.inc();
         lapic.pending.insert(vector.0);
         !lapic.masked
     }
@@ -262,6 +264,7 @@ mod tests {
     fn out_of_range_cpu_is_harmless() {
         let mut f = fabric();
         assert!(!f.deliver(CpuId(99), IrqVector::SIPI));
+        assert_eq!(f.total_delivered(), 0, "nothing reached a local APIC");
         assert!(f.pending(CpuId(99)).is_empty());
         assert!(!f.is_masked(CpuId(99)));
         assert!(f.unmask(CpuId(99)).is_empty());

@@ -38,7 +38,17 @@ pub struct PcieLink {
 
 impl PcieLink {
     /// Creates an idle link.
+    ///
+    /// Panics when `effective_gbps` is not a positive finite number: a
+    /// zero/negative/NaN bandwidth would make [`PcieLink::serialization`]
+    /// saturate to `u64::MAX` nanoseconds and wedge every transfer at
+    /// the end of simulated time instead of failing at the config site.
     pub fn new(config: PcieConfig) -> Self {
+        assert!(
+            config.effective_gbps.is_finite() && config.effective_gbps > 0.0,
+            "pcie effective_gbps must be a positive finite bandwidth, got {}",
+            config.effective_gbps
+        );
         PcieLink {
             config,
             busy_until: SimTime::ZERO,
@@ -122,5 +132,15 @@ mod tests {
         let d2 = l.transfer(64, SimTime::from_micros(100));
         assert_eq!((d1.as_nanos()) as i64 - 450 - 10, 0);
         assert_eq!(d2.as_nanos(), 100_000 + 450 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite bandwidth")]
+    fn rejects_zero_bandwidth() {
+        let cfg = PcieConfig {
+            effective_gbps: 0.0,
+            ..PcieConfig::default()
+        };
+        let _ = PcieLink::new(cfg);
     }
 }

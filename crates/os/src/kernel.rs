@@ -379,16 +379,19 @@ impl Kernel {
         let Some(ctx) = &c.current else {
             return false;
         };
-        let t = self.thread(ctx.tid);
-        if t.holding.is_some() {
-            return true;
-        }
-        matches!(t.current_segment(), Some(s) if s.is_non_preemptible())
+        self.thread(ctx.tid).in_critical_section()
     }
 
     /// Queue depth + running count on `cpu`.
     pub fn cpu_load(&self, cpu: CpuId) -> usize {
         self.cpu(cpu).map(|c| c.load()).unwrap_or(0)
+    }
+
+    /// Queued-thread depth on `cpu`, excluding the running thread
+    /// (the runqueue view scheduling policies read through their
+    /// kernel context).
+    pub fn runqueue_depth(&self, cpu: CpuId) -> usize {
+        self.cpu(cpu).map(|c| c.queue.len()).unwrap_or(0)
     }
 
     /// Lifetime busy fraction of `cpu`.

@@ -218,6 +218,17 @@ impl Thread {
         self.program.segments().get(self.pc)
     }
 
+    /// True when the thread is inside a critical section: holding a
+    /// spinlock, or executing a non-preemptible segment. This is the
+    /// §4.1 lock-context condition — a vCPU preempted while its
+    /// current thread is in a critical section must be re-placed
+    /// immediately or every sibling spinning on the same lock wastes
+    /// its slice (the `P^N` argument).
+    pub fn in_critical_section(&self) -> bool {
+        self.holding.is_some()
+            || matches!(self.current_segment(), Some(s) if s.is_non_preemptible())
+    }
+
     /// Turnaround time (spawn → finish), if finished.
     pub fn turnaround(&self) -> Option<SimDuration> {
         self.finished_at.map(|f| f - self.spawned_at)

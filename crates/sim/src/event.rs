@@ -108,24 +108,22 @@ pub enum QueueBackend {
 impl QueueBackend {
     /// Resolves the backend from the `TAICHI_QUEUE` environment
     /// variable: `wheel` (or unset/empty) and `heap` are accepted; an
-    /// unrecognized value warns to stderr and falls back to the wheel,
-    /// mirroring the `TAICHI_SEED` convention — silently ignoring a
-    /// typoed selector would fake a backend comparison.
+    /// unrecognized value warns to stderr **once per process** and
+    /// falls back to the wheel, mirroring the `TAICHI_SEED` convention
+    /// — silently ignoring a typoed selector would fake a backend
+    /// comparison, and every `EventQueue` construction re-reads the
+    /// variable, so without deduplication a sweep would repeat the
+    /// warning per machine.
     pub fn from_env() -> QueueBackend {
-        match std::env::var("TAICHI_QUEUE") {
-            Ok(s) => match s.trim() {
-                "" | "wheel" => QueueBackend::Wheel,
-                "heap" => QueueBackend::Heap,
-                other => {
-                    eprintln!(
-                        "warning: TAICHI_QUEUE={other:?} is not a known queue backend \
-                         (expected \"wheel\" or \"heap\"); using the wheel"
-                    );
-                    QueueBackend::Wheel
-                }
-            },
-            Err(_) => QueueBackend::Wheel,
-        }
+        crate::env::env_parse_or_warn("TAICHI_QUEUE", |s| match s.trim() {
+            "" | "wheel" => Ok(QueueBackend::Wheel),
+            "heap" => Ok(QueueBackend::Heap),
+            other => Err(format!(
+                "warning: TAICHI_QUEUE={other:?} is not a known queue backend \
+                 (expected \"wheel\" or \"heap\"); using the wheel"
+            )),
+        })
+        .unwrap_or_default()
     }
 }
 
@@ -556,6 +554,17 @@ impl<E> EventQueue<E> {
                     *count -= 1;
                     self.live -= 1;
                     self.retire_slot(token.slot);
+                    // The removal may have emptied both wheel levels,
+                    // promoting the overflow top to global front: it
+                    // must be live (`peek_time` relies on it), and a
+                    // cancelled entry parked there would hold its slot
+                    // until the next window advance.
+                    let Core::Wheel(wheel) = &self.core else {
+                        unreachable!()
+                    };
+                    if wheel.l0_count == 0 && wheel.l1_count == 0 {
+                        self.sweep_overflow_top();
+                    }
                 }
             }
         }
@@ -683,6 +692,14 @@ impl<E> EventQueue<E> {
                     let (_, event) = self.retire_queued(min);
                     out.push(event.expect("wheel entries are never cancelled in place"));
                 }
+                // Same front-is-live repair as `wheel_pop_min`: the
+                // batch may have drained the last level entries.
+                let Core::Wheel(wheel) = &self.core else {
+                    unreachable!()
+                };
+                if wheel.l0_count == 0 && wheel.l1_count == 0 {
+                    self.sweep_overflow_top();
+                }
                 Some(at)
             }
         }
@@ -754,6 +771,12 @@ impl<E> EventQueue<E> {
                     clear_bit(&mut wheel.l0_mask, b);
                 }
                 wheel.l0_count -= 1;
+                if wheel.l0_count == 0 && wheel.l1_count == 0 {
+                    // The popped entry was the last one in the wheel
+                    // proper: the overflow top is the front now, so
+                    // discard any cancelled run sitting on it.
+                    self.sweep_overflow_top();
+                }
                 return Some((time, min));
             }
             if wheel.l1_count > 0 {

@@ -221,21 +221,17 @@ impl FaultPlan {
     }
 
     /// Applies the `TAICHI_FAULTS` environment override on top of
-    /// `self`, warning (and keeping `self`) when the spec is invalid.
+    /// `self`, warning once per process (and keeping `self`) when the
+    /// spec is invalid.
     pub fn with_env_overrides(self) -> FaultPlan {
-        let Ok(spec) = std::env::var("TAICHI_FAULTS") else {
-            return self;
-        };
-        if spec.trim().is_empty() {
-            return self;
-        }
-        match self.apply_spec(&spec) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("warning: ignoring TAICHI_FAULTS={spec:?}: {e}");
-                self
+        crate::env::env_parse_or_warn("TAICHI_FAULTS", |spec| {
+            if spec.trim().is_empty() {
+                return Ok(self);
             }
-        }
+            self.apply_spec(spec)
+                .map_err(|e| format!("warning: ignoring TAICHI_FAULTS={spec:?}: {e}"))
+        })
+        .unwrap_or(self)
     }
 }
 

@@ -35,6 +35,7 @@
 pub mod alloc;
 pub mod check;
 pub mod dist;
+pub mod env;
 pub mod event;
 pub mod fault;
 pub mod hist;

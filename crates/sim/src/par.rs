@@ -17,13 +17,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Default worker count: the `TAICHI_WORKERS` environment variable when
-/// set (`0` or a value that fails to parse falls back with a warning to
-/// stderr), otherwise the machine's available parallelism.
+/// set (`0` or a value that fails to parse falls back with a one-shot
+/// warning to stderr), otherwise the machine's available parallelism.
 pub fn default_workers() -> usize {
     let var = std::env::var("TAICHI_WORKERS").ok();
     let (workers, warning) = resolve_workers(var.as_deref(), available());
     if let Some(w) = warning {
-        eprintln!("{w}");
+        // Deduplicated: nested sweeps would otherwise repeat the same
+        // line once per `sweep` call.
+        crate::env::warn_once("TAICHI_WORKERS", &w);
     }
     workers
 }

@@ -237,6 +237,109 @@ fn event_queue_matches_spec_under_heavy_cancellation() {
     }
 }
 
+/// Cancel storm concentrated on the wheel's *overflow-heap* region,
+/// where cancellation is lazy (a flag plus a top sweep, unlike the
+/// eager unlink inside the wheel levels). The heavy-cancellation test
+/// above never leaves the first wheel level — its 500 ns deltas sit
+/// five orders of magnitude short of the ~33.5 ms level-1 horizon —
+/// so the lazy path's bookkeeping (slot retirement at promotion and
+/// top-sweep) went entirely unexercised by it.
+///
+/// Well over half of the scheduled deltas here land beyond the
+/// horizon; most entries get cancelled while still buried in the
+/// overflow heap; pops force promotions across the boundary. The spec
+/// comparison in `check_invariants` bounds the wheel's cancelled
+/// backlog by the lazy-disposal model at every step, and the full
+/// drain must end with zero backlog on both backends — a leaked
+/// overflow slot (a cancelled entry whose slot is never retired)
+/// would hold the backlog nonzero at the end.
+#[test]
+fn overflow_cancel_storm_retires_every_slot() {
+    const HORIZON_NS: u64 = 33_500_000; // just under the level-1 span
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let mut rng = Rng::new(0x5702_0CA7);
+        let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+        let mut spec = SpecQueue::new();
+        let mut tokens: Vec<(EventToken, u64)> = Vec::new();
+        let mut next_payload = 0u64;
+        let (mut far, mut total) = (0u64, 0u64);
+        let mut step = 0usize;
+
+        for _round in 0..300 {
+            for _ in 0..16 {
+                total += 1;
+                let dt = if rng.next_below(10) < 7 {
+                    // Deep in the overflow region: 34 ms ..= 500 ms.
+                    far += 1;
+                    SimDuration::from_nanos(34_000_000 + rng.next_below(466_000_000))
+                } else {
+                    // Inside the wheel levels, crossing both spans.
+                    SimDuration::from_nanos(rng.next_below(33_000_000))
+                };
+                let time = q.now() + dt;
+                let payload = next_payload;
+                next_payload += 1;
+                tokens.push((q.schedule(time, payload), spec.schedule(time, payload)));
+            }
+            // The storm: cancel roughly 3/4 of everything outstanding,
+            // including stale tokens of already-fired entries (their
+            // cancel must report false on both sides).
+            for &(tok, id) in &tokens {
+                if rng.next_below(4) < 3 {
+                    assert_eq!(
+                        q.cancel(tok),
+                        spec.cancel(id),
+                        "cancel return diverged at step {step}"
+                    );
+                    step += 1;
+                }
+            }
+            check_invariants(&q, &spec, step);
+            // A few pops advance time across the horizon, forcing
+            // overflow promotion through cancelled runs.
+            for _ in 0..6 {
+                assert_eq!(q.pop(), spec.pop(), "pop diverged at step {step}");
+                step += 1;
+                check_invariants(&q, &spec, step);
+            }
+            // Keep the stale-token pool bounded (oldest first out);
+            // enough survivors remain to exercise generation checks.
+            if tokens.len() > 4096 {
+                let excess = tokens.len() - 4096;
+                tokens.drain(..excess);
+            }
+        }
+        assert!(
+            far * 2 > total,
+            "storm drifted: only {far}/{total} deltas beyond the horizon"
+        );
+        assert!(
+            far > 0 && 34_000_000 > HORIZON_NS,
+            "constants drifted: far deltas must start past the horizon"
+        );
+
+        // Full drain: pop order stays identical, and both backends end
+        // with every cancelled slot retired.
+        loop {
+            let a = q.pop();
+            let b = spec.pop();
+            assert_eq!(a, b, "pop diverged during drain at step {step}");
+            step += 1;
+            if a.is_none() {
+                break;
+            }
+            check_invariants(&q, &spec, step);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(
+            q.cancelled_backlog(),
+            0,
+            "{backend:?}: leaked cancelled slots after full drain"
+        );
+    }
+}
+
 /// Draws a time delta that lands across all three wheel levels:
 /// mostly dense near-future (level 0), a healthy share of level-1
 /// distances, and an occasional far-future overflow entry — plus
