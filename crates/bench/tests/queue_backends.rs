@@ -2,15 +2,20 @@
 //! observationally indistinguishable from the binary-heap reference.
 //!
 //! The `TAICHI_QUEUE` selector swaps the scheduling core under every
-//! machine a process builds; this test runs the same seeded workloads
-//! under `wheel` and `heap` and asserts that everything a user can
-//! export — the scheduler trace TSV, the run-report statistics, and an
-//! `ext_*`-style experiment CSV — is **byte-identical**, and that the
-//! CSV is additionally invariant to the sweep worker count (1 vs. 4).
+//! machine a process builds, and `TAICHI_SKIP` toggles the idle-gap
+//! skip layer (cancelling superseded timers instead of dispatching
+//! them as stale no-ops); this test runs the same seeded workloads
+//! under the full `{wheel, heap} × {skip on, skip off}` matrix and
+//! asserts that everything a user can export — the scheduler trace
+//! TSV, the run-report statistics (including the logical event count
+//! and the fast-forwarded poll ledger), and an `ext_*`-style
+//! experiment CSV — is **byte-identical** across all four cells, and
+//! that the CSV is additionally invariant to the sweep worker count
+//! (1 vs. 4).
 //!
-//! Kept as a single `#[test]` on purpose: the backend selector is a
-//! process-global environment variable, and sibling tests running
-//! concurrently in this binary would race on it.
+//! Kept as a single `#[test]` on purpose: the backend and skip
+//! selectors are process-global environment variables, and sibling
+//! tests running concurrently in this binary would race on them.
 
 use taichi_bench::sweep_with;
 use taichi_core::machine::{Machine, Mode};
@@ -63,6 +68,7 @@ fn run_machine(trace: bool) -> (Vec<u64>, Option<String>) {
     let r = RunReport::collect(&m);
     let fp = vec![
         m.events_processed(),
+        m.events_fast_forwarded(),
         r.dp.packets(),
         r.dp.total_latency().mean().to_bits(),
         r.dp.total_latency().percentile(99.9),
@@ -129,9 +135,10 @@ struct Artifacts {
     csv_parallel: String,
 }
 
-fn collect(backend: QueueBackend) -> Artifacts {
+fn collect(backend: QueueBackend, skip: &str) -> Artifacts {
     // Point every EventQueue::new() in this process at the backend
-    // under test — the exact switch an operator would flip.
+    // under test, and every Machine::new() at the skip mode — the
+    // exact switches an operator would flip.
     std::env::set_var(
         "TAICHI_QUEUE",
         match backend {
@@ -139,12 +146,13 @@ fn collect(backend: QueueBackend) -> Artifacts {
             QueueBackend::Heap => "heap",
         },
     );
+    std::env::set_var("TAICHI_SKIP", skip);
     assert_eq!(QueueBackend::from_env(), backend, "selector must resolve");
     let (stats, _) = run_machine(false);
     let (traced_stats, trace) = run_machine(true);
     assert_eq!(
         stats, traced_stats,
-        "{backend:?}: tracing must not perturb the run"
+        "{backend:?}/skip={skip}: tracing must not perturb the run"
     );
     let artifacts = Artifacts {
         stats,
@@ -153,43 +161,55 @@ fn collect(backend: QueueBackend) -> Artifacts {
         csv_parallel: ext_style_csv(4),
     };
     std::env::remove_var("TAICHI_QUEUE");
+    std::env::remove_var("TAICHI_SKIP");
     artifacts
 }
 
 #[test]
 fn wheel_and_heap_artifacts_are_byte_identical() {
-    let wheel = collect(QueueBackend::Wheel);
-    let heap = collect(QueueBackend::Heap);
+    // The wheel × skip-on cell is the production configuration; the
+    // heap × skip-off cell is the oracle every optimization must
+    // reproduce byte for byte. The off-diagonal cells isolate which
+    // layer (queue backend vs. skip layer) broke identity.
+    let cells = [
+        (QueueBackend::Wheel, "on"),
+        (QueueBackend::Wheel, "off"),
+        (QueueBackend::Heap, "on"),
+        (QueueBackend::Heap, "off"),
+    ];
+    let baseline = collect(cells[0].0, cells[0].1);
 
     // Trace TSV: the full scheduler timeline, byte for byte.
     assert!(
-        wheel.trace.lines().count() > 100,
+        baseline.trace.lines().count() > 100,
         "trace suspiciously short — workload drifted?"
     );
-    assert_eq!(
-        wheel.trace, heap.trace,
-        "trace TSV differs between wheel and heap backends"
-    );
+    // Experiment CSV: identical across cells AND worker counts.
+    assert!(baseline.csv_serial.lines().count() > 2);
 
-    // Stats fingerprint (includes the processed-event count, so the
-    // batch drain cannot silently skip or duplicate dispatches).
-    assert_eq!(
-        wheel.stats, heap.stats,
-        "run-report statistics differ between wheel and heap backends"
-    );
-
-    // Experiment CSV: identical across backends AND worker counts.
-    assert!(wheel.csv_serial.lines().count() > 2);
-    assert_eq!(
-        wheel.csv_serial, wheel.csv_parallel,
-        "wheel CSV must be worker-count invariant"
-    );
-    assert_eq!(
-        heap.csv_serial, heap.csv_parallel,
-        "heap CSV must be worker-count invariant"
-    );
-    assert_eq!(
-        wheel.csv_serial, heap.csv_serial,
-        "experiment CSV differs between wheel and heap backends"
-    );
+    for &(backend, skip) in &cells[1..] {
+        let other = collect(backend, skip);
+        assert_eq!(
+            baseline.trace, other.trace,
+            "trace TSV differs: wheel/skip=on vs {backend:?}/skip={skip}"
+        );
+        // Stats fingerprint (leads with the logical event count —
+        // dispatched + skipped — so the batch drain cannot silently
+        // skip or duplicate dispatches, and the skip layer cannot
+        // elide an event that was not a stale no-op; second entry is
+        // the fast-forward ledger, so the closed-form poll accounting
+        // is pinned across backends and skip modes too).
+        assert_eq!(
+            baseline.stats, other.stats,
+            "run-report statistics differ: wheel/skip=on vs {backend:?}/skip={skip}"
+        );
+        assert_eq!(
+            other.csv_serial, other.csv_parallel,
+            "{backend:?}/skip={skip}: CSV must be worker-count invariant"
+        );
+        assert_eq!(
+            baseline.csv_serial, other.csv_serial,
+            "experiment CSV differs: wheel/skip=on vs {backend:?}/skip={skip}"
+        );
+    }
 }

@@ -27,7 +27,7 @@
 //! preprocess+transfer window, so the DP service is back on the core
 //! before the packet reaches shared memory.
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, SkipMode};
 use crate::orchestrator::{IpiOrchestrator, RouteDecision};
 use crate::probe_sw::AdaptiveYield;
 use crate::sched::{make_scheduler, KernelCtx, PolicyKind, Scheduler};
@@ -39,11 +39,12 @@ use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, I
 use taichi_os::{ActionBuf, CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
 use taichi_sim::trace::FailureDump;
 use taichi_sim::{
-    EventQueue, FaultInjector, IpiFate, Rng, SimDuration, SimTime, TraceKind, Tracer,
+    EventQueue, EventToken, FaultInjector, IpiFate, Rng, SimDuration, SimTime, TraceKind, Tracer,
 };
 use taichi_virt::{VcpuState, VmExitReason};
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// CPU number used for fault/degrade trace events that are not tied to
@@ -223,7 +224,34 @@ pub struct Machine {
     /// [`Machine::fill_idle_cp_hosts`] pass. Pure packet events leave
     /// it clear, so the majority of events skip the CP-host scan.
     cp_fill_dirty: bool,
-    events_processed: u64,
+    /// Events physically dispatched to handlers.
+    events_dispatched: u64,
+    /// Superseded timers cancelled before dispatch by the skip layer
+    /// (each one a stale-generation no-op a skip-off run would have
+    /// dispatched). `events_dispatched + events_skipped` is invariant
+    /// across skip modes.
+    events_skipped: u64,
+    /// Idle-time skipping resolved at construction (`cfg.skip`, else
+    /// `TAICHI_SKIP`): cancel superseded timers instead of dispatching
+    /// them later as stale no-ops.
+    skip: bool,
+    /// Cached `policy.uses_vcpus()` — the policy never changes after
+    /// construction, and the flag gates every idle-arm and CP-fill
+    /// pass, so the virtual call is hoisted out of the hot loop.
+    uses_vcpus: bool,
+    /// Outstanding timer tokens for the skip layer (the most recent
+    /// DpIdle per service / slice expiry per vCPU / decision tick per
+    /// CPU), each paired with its deadline. A stale entry is harmless:
+    /// cancel on a fired token is a recorded-nothing no-op.
+    dp_idle_tok: Vec<Option<(EventToken, SimTime)>>,
+    vcpu_slice_tok: Vec<Option<(EventToken, SimTime)>>,
+    kernel_tok: Vec<Option<(EventToken, SimTime)>>,
+    /// Deadlines of cancelled timers not yet folded into
+    /// `events_skipped`: a skip-off run dispatches a superseded timer
+    /// only when the clock reaches its deadline, so a cancelled timer
+    /// counts as skipped only once `now` passes it — deadlines beyond
+    /// the final horizon would never have fired and must never count.
+    skipped_deadlines: BinaryHeap<Reverse<u64>>,
     dp_idle_gen: Vec<u64>,
     dp_busy: Vec<bool>,
     /// Packets ingested into the accelerator but not yet delivered,
@@ -415,6 +443,8 @@ impl Machine {
         }
 
         let n_v = vcpu_ids.len();
+        let skip = cfg.skip.unwrap_or_else(SkipMode::from_env).is_on();
+        let uses_vcpus = policy.uses_vcpus();
         Machine {
             accel,
             hw_probe,
@@ -433,7 +463,17 @@ impl Machine {
             kernel_gen: Vec::new(),
             scratch: ActionBuf::new(),
             cp_fill_dirty: true,
-            events_processed: 0,
+            events_dispatched: 0,
+            events_skipped: 0,
+            skip,
+            uses_vcpus,
+            dp_idle_tok: vec![None; dp_count as usize],
+            vcpu_slice_tok: vec![None; n_v],
+            kernel_tok: Vec::new(),
+            // Sized for the worst observed steady state (pending
+            // not-yet-matured cancels across every timer class) so the
+            // hot loop stays allocation-free.
+            skipped_deadlines: BinaryHeap::with_capacity(1024),
             dp_idle_gen: vec![0; dp_count as usize],
             dp_busy: vec![false; dp_count as usize],
             dp_inflight: vec![0; dp_count as usize],
@@ -580,8 +620,11 @@ impl Machine {
     /// order — their entries carry later sequence numbers than the
     /// whole drained batch, so the next drain picks them up in exactly
     /// the order a per-event loop would have produced. Batch-draining
-    /// is sound here because the machine never cancels queued events
-    /// (stale firings are filtered by generation counters instead).
+    /// stays sound with the skip layer cancelling superseded timers:
+    /// drained entries' tokens are generation-stale, so a cancel aimed
+    /// at an event already in the current batch records nothing and the
+    /// event still dispatches as the stale-generation no-op it would
+    /// have been anyway.
     pub fn run_until(&mut self, t: SimTime) {
         self.bootstrap();
         let mut batch = std::mem::take(&mut self.event_batch);
@@ -597,16 +640,21 @@ impl Machine {
                 self.health.clock_regressions += 1;
             }
             self.now = at;
+            // Fold matured skip-layer deadlines as the clock advances:
+            // draining here (one peek per batch) keeps the ledger
+            // bounded by the timers still pending, not by run length.
+            self.settle_skipped();
             if let Some(tr) = &self.tracer {
                 tr.set_time(at);
             }
             for ev in batch.drain(..) {
-                self.events_processed += 1;
+                self.events_dispatched += 1;
                 self.handle(ev);
             }
         }
         self.event_batch = batch; // keep the capacity for the next call
         self.now = t.max(self.now);
+        self.settle_skipped();
     }
 
     fn bootstrap(&mut self) {
@@ -623,11 +671,38 @@ impl Machine {
         for cpu in self.kernel.known_cpus() {
             self.rearm_kernel(cpu);
         }
-        if self.policy.uses_vcpus() {
+        if self.uses_vcpus {
             for i in 0..self.services.len() {
                 let host = self.dp_cpu_ids[i];
                 self.arm_dp_idle(host);
             }
+        }
+    }
+
+    /// Skip layer: cancels the superseded timer behind `tok` (when the
+    /// event is still queued) and records its deadline, keeping
+    /// [`Machine::events_processed`] identical to a skip-off run —
+    /// which dispatches the timer as a stale-generation no-op when the
+    /// clock reaches the deadline, and never if the run ends first.
+    /// [`Machine::settle_skipped`] folds the matured deadlines in.
+    fn skip_stale(&mut self, tok: Option<(EventToken, SimTime)>) {
+        if let Some((tok, deadline)) = tok {
+            if self.queue.cancel(tok) {
+                self.skipped_deadlines.push(Reverse(deadline.as_nanos()));
+            }
+        }
+    }
+
+    /// Counts every cancelled timer whose deadline the clock has now
+    /// passed — the instants where a skip-off run dispatched the same
+    /// timer as a no-op.
+    fn settle_skipped(&mut self) {
+        while let Some(&Reverse(d)) = self.skipped_deadlines.peek() {
+            if d > self.now.as_nanos() {
+                break;
+            }
+            self.skipped_deadlines.pop();
+            self.events_skipped += 1;
         }
     }
 
@@ -688,7 +763,7 @@ impl Machine {
     /// task off a CPU, exactly like Linux). This is the same placement
     /// machinery §4.1 uses for the lock-safety CP-pCPU fallback.
     fn fill_idle_cp_hosts(&mut self) {
-        if !self.policy.uses_vcpus() {
+        if !self.uses_vcpus {
             return;
         }
         for i in 0..self.cp_cpu_ids.len() {
@@ -817,7 +892,7 @@ impl Machine {
     // ---------------------------------------------------------------
 
     fn arm_dp_idle(&mut self, host: CpuId) {
-        if !self.policy.uses_vcpus() {
+        if !self.uses_vcpus {
             return;
         }
         let Some(si) = self.dp_index(host) else {
@@ -832,8 +907,19 @@ impl Machine {
         };
         self.dp_idle_gen[si] += 1;
         let gen = self.dp_idle_gen[si];
-        self.queue
-            .schedule(t.max(self.now), Event::DpIdle { host, gen });
+        if self.skip {
+            // Re-arming supersedes the previous notification: elide it
+            // instead of letting it fire as a gen-mismatch no-op. The
+            // early returns above leave the prior timer untouched — its
+            // generation still matches, so it is not stale.
+            let old = self.dp_idle_tok[si].take();
+            self.skip_stale(old);
+        }
+        let at = t.max(self.now);
+        let tok = self.queue.schedule(at, Event::DpIdle { host, gen });
+        if self.skip {
+            self.dp_idle_tok[si] = Some((tok, at));
+        }
     }
 
     fn on_dp_idle(&mut self, host: CpuId, gen: u64) {
@@ -876,6 +962,12 @@ impl Machine {
         self.trace(host, TraceKind::YieldGrant { vcpu: idx as u32 });
         if let Some(si) = self.dp_index(host) {
             self.yield_armed[si] = false;
+            // The grant stops the poll loop: close the service's open
+            // empty-poll run so the Fig. 9 fast-forward ledger only
+            // covers spans where polling actually executed. (The
+            // rollback path below re-opens it via `restart_polling`.)
+            let now = self.now;
+            self.services[si].pause_polling(now);
         } else {
             // Hosting on a CP pCPU (lock-safety fallback): suspend the
             // native kernel context for the duration of the grant.
@@ -975,8 +1067,15 @@ impl Machine {
         }
         self.vcpu_gen[idx] += 1;
         let gen = self.vcpu_gen[idx];
-        self.queue
+        let tok = self
+            .queue
             .schedule(slice_end, Event::VcpuSliceExpire { idx, gen });
+        if self.skip {
+            // Any previous slice timer was already cancelled (or fired)
+            // when the prior grant exited; storing unconditionally is
+            // safe because stale tokens cancel as no-ops.
+            self.vcpu_slice_tok[idx] = Some((tok, slice_end));
+        }
     }
 
     fn on_slice_expire(&mut self, idx: usize, gen: u64) {
@@ -1003,8 +1102,15 @@ impl Machine {
         self.with_kernel(|k, now, out| k.pause_cpu(vid, now, out));
         self.vsched.vcpu_mut(idx).begin_exit(reason, self.now);
         self.vcpu_gen[idx] += 1; // invalidate any pending slice timer
-                                 // Full switch latency (VM-exit + pCPU context restore): the
-                                 // 2 µs the hardware probe hides inside the I/O window.
+        if self.skip {
+            // The invalidated slice timer can never match again: elide
+            // it. When this exit *is* the slice expiry, the token is
+            // already stale and the cancel records nothing.
+            let old = self.vcpu_slice_tok[idx].take();
+            self.skip_stale(old);
+        }
+        // Full switch latency (VM-exit + pCPU context restore): the
+        // 2 µs the hardware probe hides inside the I/O window.
         let done = self.now + self.cfg.taichi.costs.switch_latency();
         self.queue.schedule(done, Event::VcpuExited { idx });
     }
@@ -1180,6 +1286,15 @@ impl Machine {
         }
         self.kernel_gen[cpu.index()] += 1;
         let gen = self.kernel_gen[cpu.index()];
+        if self.skip {
+            if cpu.index() >= self.kernel_tok.len() {
+                self.kernel_tok.resize(cpu.index() + 1, None);
+            }
+            // The generation bump above permanently staled any pending
+            // decision timer — whether or not a new one gets armed.
+            let old = self.kernel_tok[cpu.index()].take();
+            self.skip_stale(old);
+        }
         if let Some(mut t) = self.kernel.next_decision_time(cpu, self.now) {
             if let Some(f) = &self.fault {
                 // Late decision timers are tolerated by the kernel (it
@@ -1187,8 +1302,11 @@ impl Machine {
                 // which is exactly why jitter goes here.
                 t += f.timer_jitter(cpu.0);
             }
-            self.queue
-                .schedule(t.max(self.now), Event::KernelDecide { cpu, gen });
+            let at = t.max(self.now);
+            let tok = self.queue.schedule(at, Event::KernelDecide { cpu, gen });
+            if self.skip {
+                self.kernel_tok[cpu.index()] = Some((tok, at));
+            }
         }
     }
 
@@ -1498,10 +1616,39 @@ impl Machine {
         self.yield_vetoes
     }
 
-    /// Discrete events processed by [`Machine::run_until`] so far
-    /// (the engine-throughput denominator for `bench_engine`).
+    /// Logical events retired by [`Machine::run_until`] so far:
+    /// dispatched handlers plus superseded timers the skip layer
+    /// elided before dispatch. The sum is invariant across queue
+    /// backends and skip modes (every elided timer would have been a
+    /// stale-generation no-op), which is why the byte-identity
+    /// fingerprints lead with this value.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_dispatched + self.events_skipped
+    }
+
+    /// Events physically dispatched to handlers — the wall-clock work
+    /// the engine actually performed.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Superseded timers cancelled before dispatch by the skip layer
+    /// (always zero under `TAICHI_SKIP=off`).
+    pub fn events_skipped(&self) -> u64 {
+        self.events_skipped
+    }
+
+    /// Empty-poll iterations elided in closed form by the Fig. 9
+    /// fast-forward ledger, summed over the DP services at the current
+    /// simulated time. A cycle-level simulator would have burned one
+    /// event (or one loop iteration) per poll; the analytic ledger
+    /// replaces them with O(1) arithmetic per idle gap.
+    pub fn events_fast_forwarded(&self) -> u64 {
+        let now = self.now;
+        self.services
+            .iter()
+            .map(|s| s.fast_forwarded_polls(now))
+            .sum()
     }
 
     /// The fault injector, when the (env-overlaid) plan is active.

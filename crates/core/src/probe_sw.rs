@@ -12,6 +12,13 @@
 //! - **Hardware-probe exit** ⇒ a packet arrived while the vCPU held the
 //!   core ⇒ the yield was a false positive ⇒ *increase* `N` (double,
 //!   capped).
+//!
+//! The probe window is never stepped poll-by-poll: `N` feeds the
+//! analytic `idle_notify_time` re-arm (`empty_since + (N + 1) ×
+//! poll_iteration`), so a whole idle gap costs one timer event no
+//! matter how many empty polls it represents — see DESIGN.md §3.9.
+//! [`AdaptiveYield::threshold`] sits on that per-re-arm hot path,
+//! hence the `#[inline]` on the accessors.
 
 use taichi_hw::CpuId;
 use taichi_virt::VmExitReason;
@@ -49,6 +56,7 @@ impl AdaptiveYield {
 
     /// Current threshold for `cpu` (the max bound for unknown CPUs,
     /// i.e. effectively never yield).
+    #[inline]
     pub fn threshold(&self, cpu: CpuId) -> u32 {
         self.thresholds
             .get(cpu.index())
@@ -57,6 +65,7 @@ impl AdaptiveYield {
     }
 
     /// Feeds back a VM-exit that ended a grant on `cpu`.
+    #[inline]
     pub fn on_vm_exit(&mut self, cpu: CpuId, reason: VmExitReason) {
         let (min, max) = (self.min, self.max);
         let Some(n) = self.thresholds.get_mut(cpu.index()) else {

@@ -302,26 +302,32 @@ impl TaiChiPolicy {
 }
 
 impl Scheduler for TaiChiPolicy {
+    #[inline]
     fn name(&self) -> &'static str {
         "taichi"
     }
 
+    #[inline]
     fn uses_vcpus(&self) -> bool {
         true
     }
 
+    #[inline]
     fn hw_probe_enabled(&self) -> bool {
         self.hw_probe
     }
 
+    #[inline]
     fn yield_threshold(&self, _ctx: &KernelCtx<'_>, host: CpuId) -> u32 {
         self.yield_ctl.threshold(host)
     }
 
+    #[inline]
     fn grant_slice(&self, _ctx: &KernelCtx<'_>, host: CpuId) -> SimDuration {
         self.slice_ctl.slice(host)
     }
 
+    #[inline]
     fn pick_vcpu(&mut self, ctx: &KernelCtx<'_>) -> Option<usize> {
         let n = ctx.num_vcpus();
         if n == 0 {
@@ -365,10 +371,12 @@ impl Scheduler for TaiChiPolicy {
         })
     }
 
+    #[inline]
     fn clamp_yield_to_max(&mut self, host: CpuId) -> bool {
         self.yield_ctl.clamp_to_max(host)
     }
 
+    #[inline]
     fn yield_view(&self) -> &AdaptiveYield {
         &self.yield_ctl
     }
@@ -404,26 +412,32 @@ impl BaselinePolicy {
 }
 
 impl Scheduler for BaselinePolicy {
+    #[inline]
     fn name(&self) -> &'static str {
         "baseline"
     }
 
+    #[inline]
     fn uses_vcpus(&self) -> bool {
         false
     }
 
+    #[inline]
     fn hw_probe_enabled(&self) -> bool {
         false
     }
 
+    #[inline]
     fn yield_threshold(&self, _ctx: &KernelCtx<'_>, host: CpuId) -> u32 {
         self.yield_ctl.threshold(host)
     }
 
+    #[inline]
     fn grant_slice(&self, _ctx: &KernelCtx<'_>, host: CpuId) -> SimDuration {
         self.slice_ctl.slice(host)
     }
 
+    #[inline]
     fn pick_vcpu(&mut self, _ctx: &KernelCtx<'_>) -> Option<usize> {
         None
     }
@@ -439,10 +453,12 @@ impl Scheduler for BaselinePolicy {
         None
     }
 
+    #[inline]
     fn clamp_yield_to_max(&mut self, _host: CpuId) -> bool {
         false
     }
 
+    #[inline]
     fn yield_view(&self) -> &AdaptiveYield {
         &self.yield_ctl
     }
@@ -467,26 +483,32 @@ impl Type2Policy {
 }
 
 impl Scheduler for Type2Policy {
+    #[inline]
     fn name(&self) -> &'static str {
         "type2"
     }
 
+    #[inline]
     fn uses_vcpus(&self) -> bool {
         false
     }
 
+    #[inline]
     fn hw_probe_enabled(&self) -> bool {
         false
     }
 
+    #[inline]
     fn yield_threshold(&self, ctx: &KernelCtx<'_>, host: CpuId) -> u32 {
         self.inner.yield_threshold(ctx, host)
     }
 
+    #[inline]
     fn grant_slice(&self, ctx: &KernelCtx<'_>, host: CpuId) -> SimDuration {
         self.inner.grant_slice(ctx, host)
     }
 
+    #[inline]
     fn pick_vcpu(&mut self, ctx: &KernelCtx<'_>) -> Option<usize> {
         self.inner.pick_vcpu(ctx)
     }
@@ -504,10 +526,12 @@ impl Scheduler for Type2Policy {
         self.inner.pick_reschedule_host(ctx, idle_dp, cp_hosts)
     }
 
+    #[inline]
     fn clamp_yield_to_max(&mut self, host: CpuId) -> bool {
         self.inner.clamp_yield_to_max(host)
     }
 
+    #[inline]
     fn yield_view(&self) -> &AdaptiveYield {
         self.inner.yield_view()
     }

@@ -77,6 +77,10 @@ pub struct DpService {
     busy_until: SimTime,
     /// Start of the current empty-poll run (None while packets flow).
     empty_since: Option<SimTime>,
+    /// Empty-poll iterations from *closed* runs, accumulated in closed
+    /// form (`gap / poll_iteration`) instead of one event per
+    /// iteration — the engine's fast-forward ledger.
+    ff_polls: u64,
     /// Cache pollution expires at this instant.
     polluted_until: SimTime,
     meter: UtilizationMeter,
@@ -110,6 +114,7 @@ impl DpService {
             queue: ring,
             busy_until: SimTime::ZERO,
             empty_since: Some(SimTime::ZERO),
+            ff_polls: 0,
             polluted_until: SimTime::ZERO,
             meter: UtilizationMeter::new(SimTime::ZERO),
             recorder: LatencyRecorder::new(),
@@ -134,8 +139,17 @@ impl DpService {
     /// Deposits a delivered packet into the service's ring.
     ///
     /// Returns `false` when the ring overflowed (packet dropped).
-    pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> bool {
-        self.queue.push(packet)
+    pub fn enqueue(&mut self, packet: Packet, now: SimTime) -> bool {
+        let was_empty = self.queue.is_empty();
+        let ok = self.queue.push(packet);
+        if ok && was_empty {
+            // The empty-poll run ends the instant a packet lands in
+            // the ring. (A rejected descriptor never reaches the ring,
+            // so the real loop would keep seeing it empty — the run
+            // stays open in that case.)
+            self.close_empty_run(now);
+        }
+        ok
     }
 
     /// Attaches a fault injector to the receive ring (descriptor-
@@ -236,14 +250,47 @@ impl DpService {
         }
     }
 
+    /// Ends the open empty-poll run at `now`, folding its closed-form
+    /// iteration count (`gap / poll_iteration`) into the fast-forward
+    /// ledger — the O(1) replacement for iterating the Fig. 9 loop
+    /// across the gap. A run opened in the future (processing still
+    /// completing) contributes nothing.
+    fn close_empty_run(&mut self, now: SimTime) {
+        if let Some(since) = self.empty_since.take() {
+            if now > since {
+                self.ff_polls += now.saturating_since(since).as_nanos()
+                    / self.config.poll_iteration.as_nanos().max(1);
+            }
+        }
+    }
+
+    /// Suspends the poll loop (a vCPU is about to take the core): the
+    /// current empty-poll run closes at `now`, and no iterations
+    /// accumulate until [`DpService::restart_polling`] — the grant
+    /// window is vCPU time, not polling time.
+    pub fn pause_polling(&mut self, now: SimTime) {
+        self.close_empty_run(now);
+    }
+
     /// Resets the empty-poll run to start at `now` (called when the DP
-    /// context resumes polling after a vCPU borrowed the core).
+    /// context resumes polling after a vCPU borrowed the core). Any
+    /// still-open run is discarded, not counted: polling was not
+    /// executing in between (callers pair this with
+    /// [`DpService::pause_polling`]).
     pub fn restart_polling(&mut self, now: SimTime) {
         if self.queue.is_empty() {
             self.empty_since = Some(now.max(self.busy_until));
         } else {
             self.empty_since = None;
         }
+    }
+
+    /// Empty-poll iterations elided by the analytic Fig. 9 loop:
+    /// every closed run plus the still-open run measured at `now`. A
+    /// pure function of the packet/grant schedule, so the value is
+    /// identical across queue backends and skip modes.
+    pub fn fast_forwarded_polls(&self, now: SimTime) -> u64 {
+        self.ff_polls + self.empty_polls(now)
     }
 
     /// Latency/throughput records.
@@ -425,6 +472,27 @@ mod tests {
         // 5 µs busy out of 10 µs elapsed.
         let u = s.utilization(SimTime::from_micros(10));
         assert!((u - 0.5).abs() < 0.01, "utilization {u}");
+    }
+
+    #[test]
+    fn fast_forward_counts_closed_and_open_runs() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(8);
+        // Idle run 0 → 12 µs closed by an arriving packet: 12000/120 =
+        // 100 iterations, accounted in closed form.
+        let t = SimTime::from_micros(12);
+        s.enqueue(delivered(1, 12), t);
+        assert_eq!(s.fast_forwarded_polls(t), 100);
+        let done = s.process_burst(t, &mut rng).unwrap();
+        // The new open run accumulates analytically from completion.
+        let later = done + SimDuration::from_nanos(240);
+        assert_eq!(s.fast_forwarded_polls(later), 102);
+        // A grant window pauses the loop: the pre-grant tail counts,
+        // the window itself does not.
+        s.pause_polling(later);
+        let resume = later + SimDuration::from_micros(50);
+        s.restart_polling(resume);
+        assert_eq!(s.fast_forwarded_polls(resume), 102);
     }
 
     #[test]

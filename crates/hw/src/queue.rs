@@ -50,6 +50,7 @@ impl RxQueue {
     /// Deposits a packet; returns `false` (and counts a drop) when the
     /// ring is full or the injected backpressure fault rejects the
     /// descriptor.
+    #[inline]
     pub fn push(&mut self, packet: Packet) -> bool {
         if let Some(f) = &self.fault {
             if f.enic_reject(packet.dest_cpu.0) {
@@ -72,6 +73,7 @@ impl RxQueue {
     /// The allocation-free sibling of [`rx_burst`](Self::rx_burst):
     /// burst drains on the simulator's hot path pop packets one at a
     /// time instead of collecting them into a fresh `Vec`.
+    #[inline]
     pub fn pop(&mut self) -> Option<Packet> {
         let p = self.ring.pop_front()?;
         self.dequeued.inc();
@@ -87,11 +89,13 @@ impl RxQueue {
     }
 
     /// Packets currently waiting.
+    #[inline]
     pub fn len(&self) -> usize {
         self.ring.len()
     }
 
     /// True when no packets are waiting.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
     }

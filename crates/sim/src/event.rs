@@ -77,6 +77,29 @@
 //! entry lives in (the slab records it), so wheel cancels remove the
 //! entry *eagerly* — except in the overflow heap, where cancellation
 //! stays lazy exactly like the heap backend.
+//!
+//! # Same-deadline fusion (wheel backend)
+//!
+//! Periodic timer re-arms frequently collide on the exact same
+//! deadline (several DP services arming the same poll window, a burst
+//! of slice expiries at one instant). Scheduling into a wheel level
+//! first checks the target bucket for a live slot firing at exactly
+//! that time; on a hit the new event is appended to that slot's
+//! `fused` member list instead of consuming a fresh slab slot and
+//! bucket node. The slot's ordering key is always its *front* member's
+//! sequence number: popping a fused slot sheds one member and re-keys
+//! the slot to the next, so exact `(time, seq)` order — including
+//! interleaving with other same-time slots — is preserved, and each
+//! member token (stamped with its own sequence number) remains
+//! individually cancellable. Fusion is an optimization, not a
+//! guarantee: the bucket walk is bounded, and the heap backend and the
+//! wheel's overflow heap never fuse, yet all backends stay observably
+//! identical.
+//!
+//! Advancing the level-0 window over a long idle gap hops via the
+//! level-1 occupancy bitmap: a span of empty calendar costs one bitmap
+//! scan, not one iteration per 131 µs block, so a simulated
+//! multi-second quiet period is O(occupied buckets) to cross.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -87,11 +110,15 @@ use crate::time::SimTime;
 ///
 /// Tokens are generation-stamped: once the event fires (or the cancel
 /// is swept), the token goes stale and [`EventQueue::cancel`] on it is
-/// a recorded-nothing no-op.
+/// a recorded-nothing no-op. The sequence number additionally
+/// distinguishes the members of a fused slot (several same-deadline
+/// events sharing one slab slot — see the module docs), so member
+/// tokens stay individually cancellable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventToken {
     slot: u32,
     generation: u64,
+    seq: u64,
 }
 
 /// Scheduling core selection (see the module docs). The default —
@@ -199,6 +226,12 @@ struct Slot<E> {
     /// Next slot in the same bucket's intrusive list, or [`NIL`].
     next: u32,
     event: Option<E>,
+    /// Same-deadline fusion members (wheel levels only), in ascending
+    /// sequence order. The slot's `seq`/`event` pair is the *front*
+    /// member; these are the rest. Empty for singletons, the heap
+    /// backend, and the overflow heap. The Vec's capacity survives
+    /// slot recycling, so steady-state fusion stays allocation-free.
+    fused: Vec<(u64, E)>,
 }
 
 // --------------------------------------------------------------------
@@ -275,6 +308,30 @@ impl Wheel {
     fn l1_bucket(t: u64) -> usize {
         (t >> G1_BITS) as usize & (N1 - 1)
     }
+}
+
+/// Upper bound on the bucket walk looking for a same-deadline fusion
+/// target. Level-0 buckets cover one 64 ns instant-range (nearly
+/// always 0–1 entries); level-1 buckets span 131 µs and can hold a
+/// longer mixed-deadline list, so the search gives up rather than
+/// scan it — fusion is an optimization, never a requirement.
+const FUSE_SCAN: usize = 16;
+
+/// Bounded search of a bucket list for a live slot firing at exactly
+/// `time` (a same-deadline fusion target).
+#[inline]
+fn find_coincident<E>(slots: &[Slot<E>], head: u32, time: SimTime) -> Option<u32> {
+    let mut cur = head;
+    let mut budget = FUSE_SCAN;
+    while cur != NIL && budget > 0 {
+        let s = &slots[cur as usize];
+        if s.time == time {
+            return Some(cur);
+        }
+        budget -= 1;
+        cur = s.next;
+    }
+    None
 }
 
 /// Finds the first set bit at or after `start` (wrapping) in a bitmap.
@@ -449,9 +506,38 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Same-deadline fusion (wheel levels): a live slot already
+        // firing at exactly `time` absorbs the new event as a member
+        // instead of costing a fresh slab slot and bucket node.
+        // Members carry strictly increasing sequence numbers (the
+        // global counter only grows), so a push keeps the list sorted.
+        if let Core::Wheel(wheel) = &self.core {
+            let t = time.as_nanos();
+            let head = if t < wheel.l0_end {
+                Some(wheel.l0_head[Wheel::l0_bucket(t)])
+            } else if t < wheel.h1() {
+                Some(wheel.l1_head[Wheel::l1_bucket(t)])
+            } else {
+                None
+            };
+            if let Some(host) = head.and_then(|h| find_coincident(&self.slots, h, time)) {
+                let s = &mut self.slots[host as usize];
+                s.fused.push((seq, event));
+                let generation = s.generation;
+                self.live += 1;
+                return EventToken {
+                    slot: host,
+                    generation,
+                    seq,
+                };
+            }
+        }
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize].event = Some(event);
+                let sl = &mut self.slots[s as usize];
+                sl.time = time;
+                sl.seq = seq;
+                sl.event = Some(event);
                 s
             }
             None => {
@@ -463,6 +549,7 @@ impl<E> EventQueue<E> {
                     seq,
                     next: NIL,
                     event: Some(event),
+                    fused: Vec::new(),
                 });
                 (self.slots.len() - 1) as u32
             }
@@ -471,9 +558,6 @@ impl<E> EventQueue<E> {
         match &mut self.core {
             Core::Heap(heap) => heap.push(Entry { time, seq, slot }),
             Core::Wheel(wheel) => {
-                let s = &mut self.slots[slot as usize];
-                s.time = time;
-                s.seq = seq;
                 let t = time.as_nanos();
                 if t < wheel.l0_end {
                     l0_link(wheel, &mut self.slots, slot);
@@ -486,7 +570,11 @@ impl<E> EventQueue<E> {
             }
         }
         self.live += 1;
-        EventToken { slot, generation }
+        EventToken {
+            slot,
+            generation,
+            seq,
+        }
     }
 
     /// Cancels a previously scheduled event.
@@ -503,6 +591,31 @@ impl<E> EventQueue<E> {
         };
         if slot.generation != token.generation || slot.cancelled {
             return false;
+        }
+        // Fused slots (wheel levels) map several tokens to one slot,
+        // distinguished by sequence number: the front member keys the
+        // slot, the rest live in `fused`.
+        if token.seq != slot.seq {
+            let Some(i) = slot.fused.iter().position(|&(s, _)| s == token.seq) else {
+                // The member already popped (the slot was re-keyed past
+                // it): the token is stale, exactly like a fired
+                // singleton, so record nothing.
+                return false;
+            };
+            slot.fused.remove(i);
+            self.live -= 1;
+            return true;
+        }
+        if !slot.fused.is_empty() {
+            // Cancelling the front member of a fused slot: promote the
+            // next member into the key. The deadline is unchanged, so
+            // the slot stays where it is linked; only the sequence
+            // number moves forward.
+            let (seq, event) = slot.fused.remove(0);
+            slot.seq = seq;
+            slot.event = Some(event);
+            self.live -= 1;
+            return true;
         }
         match &mut self.core {
             Core::Heap(_) => {
@@ -590,11 +703,9 @@ impl<E> EventQueue<E> {
                 return Some((entry.time, event));
             },
             Core::Wheel(_) => {
-                let (time, slot) = self.wheel_pop_min(SimTime::MAX)?;
+                let (time, event) = self.wheel_pop_min(SimTime::MAX)?;
                 self.live -= 1;
                 self.now = time;
-                let (_, event) = self.retire_queued(slot);
-                let event = event.expect("wheel entries are never cancelled in place");
                 Some((time, event))
             }
         }
@@ -614,11 +725,9 @@ impl<E> EventQueue<E> {
                 self.pop()
             }
             Core::Wheel(_) => {
-                let (time, slot) = self.wheel_pop_min(limit)?;
+                let (time, event) = self.wheel_pop_min(limit)?;
                 self.live -= 1;
                 self.now = time;
-                let (_, event) = self.retire_queued(slot);
-                let event = event.expect("wheel entries are never cancelled in place");
                 Some((time, event))
             }
         }
@@ -635,10 +744,13 @@ impl<E> EventQueue<E> {
     /// the wheel backend a same-timestamp burst costs one bucket scan
     /// total instead of one per event.
     ///
-    /// Entries appended to `out` must not be cancelled between the
-    /// drain and their dispatch (their tokens go stale at drain time) —
-    /// the machine driver upholds this by never cancelling machine
-    /// events (it uses generation counters instead).
+    /// Entries appended to `out` leave the queue at drain time, so
+    /// their tokens go stale immediately: a handler that cancels a
+    /// token whose event sits later in the same batch gets the
+    /// documented stale-token `false` (generation stamping makes this
+    /// a recorded-nothing no-op), and the event still dispatches this
+    /// batch. The machine driver's skip layer relies on exactly that
+    /// contract when it cancels superseded timers.
     pub fn drain_next_batch(&mut self, limit: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
         match &mut self.core {
             Core::Heap(_) => {
@@ -661,15 +773,17 @@ impl<E> EventQueue<E> {
                 Some(at)
             }
             Core::Wheel(_) => {
-                let (at, slot) = self.wheel_pop_min(limit)?;
+                let (at, event) = self.wheel_pop_min(limit)?;
                 self.live -= 1;
                 self.now = at;
-                let (_, event) = self.retire_queued(slot);
-                out.push(event.expect("wheel entries are never cancelled in place"));
+                out.push(event);
                 // Same-timestamp events necessarily share the level-0
                 // bucket: drain them without rescanning the bitmap.
                 // While the bucket minimum still fires at `at`, it is
-                // the next-in-seq event of the batch.
+                // the next-in-seq event of the batch (a fused slot
+                // stays put shedding one member per iteration, keyed
+                // by its next member, so interleave with other
+                // same-time slots falls out of the min-scan).
                 let b = Wheel::l0_bucket(at.as_nanos());
                 loop {
                     let Core::Wheel(wheel) = &mut self.core else {
@@ -683,14 +797,9 @@ impl<E> EventQueue<E> {
                     if self.slots[min as usize].time != at {
                         break;
                     }
-                    list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, min);
-                    if wheel.l0_head[b] == NIL {
-                        clear_bit(&mut wheel.l0_mask, b);
-                    }
-                    wheel.l0_count -= 1;
+                    let event = self.wheel_take_l0(b, prev, min);
                     self.live -= 1;
-                    let (_, event) = self.retire_queued(min);
-                    out.push(event.expect("wheel entries are never cancelled in place"));
+                    out.push(event);
                 }
                 // Same front-is-live repair as `wheel_pop_min`: the
                 // batch may have drained the last level entries.
@@ -747,13 +856,14 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Wheel backend: unlinks and returns `(time, slot)` of the
+    /// Wheel backend: removes and returns `(time, event)` of the
     /// minimum entry if its time is `<= limit`, advancing the level-0
     /// window (draining level-1 buckets, promoting overflow entries)
     /// as needed. Advancing only happens when the result is actually
     /// popped — a `None` return leaves the window untouched, so `now`
-    /// can never fall behind the level-0 coverage.
-    fn wheel_pop_min(&mut self, limit: SimTime) -> Option<(SimTime, u32)> {
+    /// can never fall behind the level-0 coverage. Does not touch
+    /// `self.live`; callers account for the removed event.
+    fn wheel_pop_min(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
         loop {
             let Core::Wheel(wheel) = &mut self.core else {
                 unreachable!("wheel_pop_min on heap backend")
@@ -766,18 +876,17 @@ impl<E> EventQueue<E> {
                 if time > limit {
                     return None;
                 }
-                list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, min);
-                if wheel.l0_head[b] == NIL {
-                    clear_bit(&mut wheel.l0_mask, b);
-                }
-                wheel.l0_count -= 1;
+                let event = self.wheel_take_l0(b, prev, min);
+                let Core::Wheel(wheel) = &self.core else {
+                    unreachable!()
+                };
                 if wheel.l0_count == 0 && wheel.l1_count == 0 {
                     // The popped entry was the last one in the wheel
                     // proper: the overflow top is the front now, so
                     // discard any cancelled run sitting on it.
                     self.sweep_overflow_top();
                 }
-                return Some((time, min));
+                return Some((time, event));
             }
             if wheel.l1_count > 0 {
                 // The global minimum lives in the first occupied
@@ -815,12 +924,48 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes the front member of the level-0 entry `slot` (bucket
+    /// `b`, list predecessor `prev`): a fused slot sheds one member and
+    /// stays linked, re-keyed to its next member's sequence number; a
+    /// singleton is unlinked from the bucket and its slab slot retired.
+    /// Returns the removed event. `self.live` is the caller's job.
+    fn wheel_take_l0(&mut self, b: usize, prev: u32, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        if !s.fused.is_empty() {
+            let (seq, next_ev) = s.fused.remove(0);
+            s.seq = seq;
+            return s
+                .event
+                .replace(next_ev)
+                .expect("fused front member owns a payload");
+        }
+        let Core::Wheel(wheel) = &mut self.core else {
+            unreachable!()
+        };
+        list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, slot);
+        if wheel.l0_head[b] == NIL {
+            clear_bit(&mut wheel.l0_mask, b);
+        }
+        wheel.l0_count -= 1;
+        let (_, event) = self.retire_queued(slot);
+        event.expect("wheel entries are never cancelled in place")
+    }
+
     /// Moves the level-0 window forward so that its exclusive end is
     /// `new_end` (a multiple of `G1`), draining the level-1 buckets the
     /// window passes over and promoting overflow entries into the
     /// freshly uncovered level-1 range. Cancelled overflow entries are
     /// retired instead of promoted — the wheel proper never holds a
     /// cancelled entry.
+    ///
+    /// Empty stretches are hopped via the level-1 occupancy bitmap in
+    /// one assignment: a gap of N empty G1 blocks costs one bitmap
+    /// scan, not N per-block iterations, so crossing a long idle gap
+    /// is O(occupied buckets) rather than O(elapsed time). The hop is
+    /// safe for overflow promotion because callers derive `new_end`
+    /// from an occupied level-1 bucket or from the overflow minimum:
+    /// every overflow time is `>= new_end - G1`, so a promoted entry
+    /// can never land behind the hopped window.
     fn wheel_advance_to(&mut self, new_end: u64) {
         loop {
             let Core::Wheel(wheel) = &mut self.core else {
@@ -829,27 +974,52 @@ impl<E> EventQueue<E> {
             if wheel.l0_end >= new_end {
                 break;
             }
-            let end = wheel.l0_end + G1;
-            // Drain the level-1 bucket covering [l0_end, end) into
-            // level 0. List order is irrelevant: the per-bucket
-            // min-scan re-establishes (time, seq) order.
-            let b1 = Wheel::l1_bucket(wheel.l0_end);
-            let mut cur = wheel.l1_head[b1];
-            if cur != NIL {
-                wheel.l1_head[b1] = NIL;
-                clear_bit(&mut wheel.l1_mask, b1);
-                while cur != NIL {
-                    let nxt = self.slots[cur as usize].next;
-                    debug_assert!(self.slots[cur as usize].time.as_nanos() >= wheel.l0_end);
-                    debug_assert!(self.slots[cur as usize].time.as_nanos() < end);
-                    wheel.l1_count -= 1;
-                    l0_link(wheel, &mut self.slots, cur);
-                    cur = nxt;
+            // Hop straight to the next occupied level-1 bucket (ring
+            // order from the window position); everything before it is
+            // provably empty calendar.
+            let cur1 = Wheel::l1_bucket(wheel.l0_end);
+            let steps_left = ((new_end - wheel.l0_end) >> G1_BITS) as usize;
+            let hop = if wheel.l1_count == 0 {
+                None
+            } else {
+                find_set_from(&wheel.l1_mask, cur1).map(|b| (b + N1 - cur1) % N1)
+            };
+            match hop {
+                Some(dist) if dist < steps_left => {
+                    // Jump to the occupied bucket and drain it into
+                    // level 0. List order is irrelevant: the
+                    // per-bucket min-scan re-establishes (time, seq)
+                    // order.
+                    wheel.l0_end += dist as u64 * G1;
+                    let end = wheel.l0_end + G1;
+                    let b1 = Wheel::l1_bucket(wheel.l0_end);
+                    let mut cur = wheel.l1_head[b1];
+                    wheel.l1_head[b1] = NIL;
+                    clear_bit(&mut wheel.l1_mask, b1);
+                    while cur != NIL {
+                        let nxt = self.slots[cur as usize].next;
+                        debug_assert!(self.slots[cur as usize].time.as_nanos() >= wheel.l0_end);
+                        debug_assert!(self.slots[cur as usize].time.as_nanos() < end);
+                        wheel.l1_count -= 1;
+                        l0_link(wheel, &mut self.slots, cur);
+                        cur = nxt;
+                    }
+                    wheel.l0_end = end;
+                }
+                _ => {
+                    // No occupied bucket inside the span: every block
+                    // up to `new_end` is empty (the nearest occupancy
+                    // sits at or beyond it), so the window crosses the
+                    // whole stretch in one assignment with nothing to
+                    // drain.
+                    wheel.l0_end = new_end;
                 }
             }
-            wheel.l0_end = end;
             // The level-1 horizon moved with the window: promote
-            // overflow entries that now fall under it.
+            // overflow entries that now fall under it. (Inside the
+            // loop: a promoted entry may land in a bucket the window
+            // still has to pass, and the next iteration's bitmap scan
+            // drains it.)
             let h1 = wheel.h1();
             while let Some(head) = wheel.overflow.peek() {
                 if head.time.as_nanos() >= h1 {
@@ -885,6 +1055,7 @@ impl<E> EventQueue<E> {
     /// payload the slot owned.
     fn retire_queued(&mut self, slot: u32) -> (bool, Option<E>) {
         let s = &mut self.slots[slot as usize];
+        debug_assert!(s.fused.is_empty(), "fused slots shed members, not retire");
         s.generation += 1;
         s.loc = LOC_NONE;
         s.next = NIL;
@@ -901,6 +1072,7 @@ impl<E> EventQueue<E> {
     /// wheel cancellation: the entry is already out of the structure).
     fn retire_slot(&mut self, slot: u32) {
         let s = &mut self.slots[slot as usize];
+        debug_assert!(s.fused.is_empty(), "fused slots shed members, not retire");
         s.generation += 1;
         s.loc = LOC_NONE;
         s.next = NIL;
@@ -1312,6 +1484,78 @@ mod tests {
         let near = q.now() + SimDuration::from_nanos(64);
         q.schedule(near, "near");
         assert_eq!(q.pop().map(|(t, _)| t), Some(near));
+    }
+
+    #[test]
+    fn fused_same_deadline_share_one_slot() {
+        // Coincident deadlines in a wheel level collapse into one slab
+        // slot and one bucket node, popping in FIFO order regardless.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let t = SimTime::from_nanos(500);
+        for i in 0..8 {
+            q.schedule(t, i);
+        }
+        assert_eq!(q.slots.len(), 1, "members fused into the first slot");
+        assert_eq!(q.len(), 8);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fused_member_cancel_semantics() {
+        // Every member token of a fused slot is individually
+        // cancellable, with the same stale-token contract singletons
+        // have, on either backend.
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t = SimTime::from_nanos(700);
+            let toks: Vec<_> = (0..5).map(|i| q.schedule(t, i)).collect();
+            assert!(q.cancel(toks[2]), "{be:?}: middle member");
+            assert!(!q.cancel(toks[2]), "{be:?}: double cancel");
+            assert!(q.cancel(toks[0]), "{be:?}: front member");
+            assert_eq!(q.len(), 3);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec![1, 3, 4], "{be:?}");
+            for tok in toks {
+                assert!(!q.cancel(tok), "{be:?}: all tokens dead after fire");
+            }
+            assert_eq!(q.cancelled_backlog(), 0, "{be:?}");
+        }
+    }
+
+    #[test]
+    fn fused_slot_interleaves_with_later_singleton() {
+        // A fused slot keyed by its front member must interleave
+        // correctly with a separate same-time slot arriving via a
+        // different route (level-1 redistribution), exactly as the
+        // heap backend would order the four events.
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend(be);
+            let t = SimTime::from_millis(1); // starts in level 1
+            q.schedule(t, 0u32);
+            q.schedule(t, 1); // fuses with 0 on the wheel
+            q.schedule(t, 2);
+            let mut out = Vec::new();
+            assert_eq!(q.drain_next_batch(SimTime::MAX, &mut out), Some(t));
+            assert_eq!(out, vec![0, 1, 2], "{be:?}");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn fusion_in_level_one_pops_in_order() {
+        // Fusing inside a level-1 bucket: members ride the
+        // redistribution into level 0 together and still pop in
+        // global (time, seq) order against neighbours.
+        let mut q = EventQueue::with_backend(QueueBackend::Wheel);
+        let a = SimTime::from_micros(200); // level 1
+        let b = SimTime::from_micros(201); // same level-1 bucket
+        q.schedule(a, 10u32);
+        q.schedule(b, 20);
+        q.schedule(a, 11); // fuses with 10
+        assert_eq!(q.slots.len(), 2, "coincident deadline fused");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![10, 11, 20]);
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //!
 //! 2. **Wheel-vs-heap differential** (≥100k ops) — the two backends
 //!    run the same interleaved push/cancel/advance sequence, with time
-//!    deltas spread across all three wheel levels and deliberate
-//!    same-timestamp bursts, and must produce identical `(time,
-//!    payload)` pop sequences and identical observables throughout.
+//!    deltas spread across all three wheel levels, deliberate
+//!    same-timestamp bursts, *fused-deadline* inserts (re-scheduling
+//!    at the exact deadline of a still-pending entry, so the wheel's
+//!    same-deadline fusion shares one slot), and long idle gaps
+//!    (drains far past the last pending entry, so the wheel's bulk
+//!    level-hop advance crosses swaths of empty buckets), and must
+//!    produce identical `(time, payload)` pop sequences and identical
+//!    observables throughout.
 
 use taichi_sim::{EventQueue, EventToken, QueueBackend, Rng, SimDuration, SimTime};
 
@@ -144,13 +149,24 @@ fn run_differential(backend: QueueBackend, seed: u64, ops: usize) {
     let mut tokens: Vec<(EventToken, u64)> = Vec::new();
     let mut next_payload = 0u64;
 
+    let mut recent_times: Vec<SimTime> = Vec::new();
+
     for step in 0..ops {
         match rng.next_below(4) {
             // Half the ops schedule, so the queue keeps growing and
-            // slots recycle through the free list.
+            // slots recycle through the free list. A quarter of the
+            // schedules reuse the exact deadline of a recent entry,
+            // driving the wheel's same-deadline fusion (the spec
+            // model is fusion-blind — observables must not change).
             0 | 1 => {
-                let dt = SimDuration::from_nanos(rng.next_below(1_000));
-                let time = q.now() + dt;
+                let time = match recent_times.get(rng.next_below(4) as usize) {
+                    Some(&t) if rng.next_below(4) == 0 && t >= q.now() => t,
+                    _ => q.now() + SimDuration::from_nanos(rng.next_below(1_000)),
+                };
+                recent_times.push(time);
+                if recent_times.len() > 16 {
+                    recent_times.remove(0);
+                }
                 let payload = next_payload;
                 next_payload += 1;
                 let tok = q.schedule(time, payload);
@@ -372,13 +388,25 @@ fn wheel_and_heap_pop_identical_sequences() {
     let mut wheel_batch = Vec::new();
     let mut heap_batch = Vec::new();
 
+    let mut recent_times: Vec<SimTime> = Vec::new();
+
     for step in 0..OPS {
         match rng.next_below(8) {
             0..=3 => {
                 // Same-timestamp runs matter most: occasionally push a
-                // small burst at one instant.
+                // small burst at one instant, or re-land on the exact
+                // deadline of a recent pending entry so the wheel's
+                // same-deadline fusion packs them into one slot (the
+                // heap never fuses — pop sequences must still match).
                 let burst = if rng.next_below(8) == 0 { 4 } else { 1 };
-                let time = wheel.now() + mixed_delta(&mut rng);
+                let time = match recent_times.get(rng.next_below(8) as usize) {
+                    Some(&t) if rng.next_below(3) == 0 && t >= wheel.now() => t,
+                    _ => wheel.now() + mixed_delta(&mut rng),
+                };
+                recent_times.push(time);
+                if recent_times.len() > 32 {
+                    recent_times.remove(0);
+                }
                 for _ in 0..burst {
                     let payload = next_payload;
                     next_payload += 1;
@@ -396,8 +424,17 @@ fn wheel_and_heap_pop_identical_sequences() {
             }
             5 => {
                 // Batch drain: both backends must group the same
-                // same-timestamp run, in the same order.
-                let limit = wheel.now() + SimDuration::from_nanos(rng.next_below(40_000_000));
+                // same-timestamp run, in the same order. One drain in
+                // four reaches seconds ahead — a long idle gap that
+                // forces the wheel's bulk advance to hop level-1
+                // stretches (and whole wheel spans) without touching
+                // the per-slot cursor.
+                let reach = if rng.next_below(4) == 0 {
+                    3_000_000_000 // idle-gap skip: far past most entries
+                } else {
+                    40_000_000
+                };
+                let limit = wheel.now() + SimDuration::from_nanos(rng.next_below(reach));
                 wheel_batch.clear();
                 heap_batch.clear();
                 let wt = wheel.drain_next_batch(limit, &mut wheel_batch);
