@@ -114,13 +114,22 @@ pub fn init_policy() -> Option<taichi_core::PolicyKind> {
 
 /// Dumps a machine's scheduler trace as `<name>.trace.tsv` under the
 /// results directory (no-op when the machine was built without
-/// tracing). `TAICHI_TRACE=<path>` overrides the destination.
+/// tracing). `TAICHI_TRACE=<path>` overrides the destination; when
+/// several machines export under the same explicit path in one
+/// process, later exports are written to `<path>.<n>` (with a
+/// warning) instead of clobbering the earlier rings' schedules.
 pub fn emit_trace(name: &str, machine: &taichi_core::machine::Machine) {
     let Some(tsv) = machine.trace_tsv() else {
         return;
     };
     let path = match std::env::var("TAICHI_TRACE") {
-        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        Ok(p) if !p.is_empty() => {
+            let (path, clash) = taichi_sim::trace::claim_export_path(&p);
+            if let Some(w) = clash {
+                eprintln!("warning: {name}: {w}");
+            }
+            path
+        }
         _ => results_dir().join(format!("{name}.trace.tsv")),
     };
     if let Err(e) = fs::write(&path, tsv) {
@@ -129,18 +138,10 @@ pub fn emit_trace(name: &str, machine: &taichi_core::machine::Machine) {
         println!("[trace] {}", path.display());
         // A silently truncated trace reads as a complete schedule;
         // surface ring evictions so nobody diffs a partial TSV
-        // believing it whole.
-        if let Some(t) = machine.tracer() {
-            let dropped = t.dropped();
-            if dropped > 0 {
-                eprintln!(
-                    "warning: {}: trace ring evicted {dropped} event(s); \
-                     the TSV holds only the newest {} (raise \
-                     TraceConfig::capacity for a full schedule)",
-                    path.display(),
-                    t.len()
-                );
-            }
+        // believing it whole. The warning is this machine's ring
+        // accounting, never another export's.
+        if let Some(w) = machine.tracer().and_then(|t| t.eviction_warning()) {
+            eprintln!("warning: {}: {w}", path.display());
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Regression fence for the `skipped_deadlines` × fault timer-jitter
+//! interaction.
+//!
+//! The skip layer cancels superseded kernel timers and remembers their
+//! deadlines in `skipped_deadlines`, settling them later so the
+//! logical event count (`dispatched + skipped`) stays backend- and
+//! skip-mode-invariant. Timer jitter (`TAICHI_FAULTS` `jitter_ns`)
+//! perturbs the deadline *before* the timer is programmed, which is
+//! exactly the path the skip layer intercepts — so the hazard is a
+//! divergence where the jitter RNG draw happens under one skip mode
+//! but not the other (a cancelled timer that still consumed a draw, or
+//! a skipped deadline recorded pre-jitter while the dispatched twin
+//! fires post-jitter). Either desync would show up here as a trace or
+//! fingerprint mismatch between `TAICHI_SKIP=on` and `off`.
+//!
+//! Jitter is drawn once per kernel-timer *programming* (rearm), and
+//! the skip layer cancels timers strictly after they were programmed,
+//! so rearm counts — and therefore RNG consumption — must match across
+//! skip modes. This test pins that equivalence under both queue
+//! backends with every fault class active.
+//!
+//! Kept as a single `#[test]`: `TAICHI_QUEUE`, `TAICHI_SKIP`, and
+//! `TAICHI_FAULTS` are process-global environment variables, and
+//! sibling tests in this binary would race on them.
+
+use taichi_core::machine::{Machine, Mode};
+use taichi_core::metrics::RunReport;
+use taichi_core::MachineConfig;
+use taichi_cp::{SynthCp, TaskFactory, VmCreateRequest};
+use taichi_dp::{ArrivalPattern, TrafficGen};
+use taichi_hw::{CpuId, IoKind};
+use taichi_sim::{Dist, QueueBackend, Rng, SimTime};
+
+const SEED: u64 = 0x5C1F;
+
+fn run_cell() -> (u64, Vec<u64>, String) {
+    let mut cfg = MachineConfig {
+        seed: SEED,
+        ..MachineConfig::default()
+    };
+    cfg.trace.enabled = true;
+    let mut m = Machine::new(cfg, Mode::TaiChi);
+    assert!(
+        m.fault_health().ipi_resends == 0,
+        "fresh machine starts clean"
+    );
+    let dp = m.services().len() as u32;
+    m.add_traffic(TrafficGen::new(
+        ArrivalPattern::OnOff {
+            on_us: Dist::constant(200.0),
+            off_us: Dist::exponential(400.0),
+            burst_gap_us: Dist::exponential(1.5 / 0.9 / dp as f64),
+        },
+        Dist::constant(512.0),
+        IoKind::Network,
+        (0..dp).map(CpuId).collect(),
+    ));
+    let mut rng = Rng::new(SEED ^ 0x17);
+    m.schedule_cp_batch(SynthCp::default().workload(12, &mut rng), SimTime::ZERO);
+    let factory = TaskFactory::default();
+    m.schedule_vm_create(
+        VmCreateRequest::at_density(0, 2, SimTime::from_millis(8)),
+        &factory,
+    );
+    m.run_until(SimTime::from_millis(50));
+
+    let r = RunReport::collect(&m);
+    let h = m.fault_health();
+    let faults = m.fault().expect("fault layer active under TAICHI_FAULTS");
+    // Within one run the skip ledger must balance: the logical event
+    // count is dispatched + skipped, whatever the skip mode. (The two
+    // legs individually are *supposed* to differ across skip modes —
+    // skip=off dispatches the stale timers skip=on cancels — so only
+    // the sum goes into the cross-mode fingerprint.)
+    assert_eq!(
+        m.events_processed(),
+        m.events_dispatched() + m.events_skipped(),
+        "skip ledger out of balance"
+    );
+    let fp = vec![
+        m.events_processed(),
+        m.events_fast_forwarded(),
+        // The jitter interaction: every class's fire count, and the
+        // jitter count specifically — if skip mode changed how often
+        // the jitter RNG is consumed, these diverge first.
+        faults.stats().timer_jitters,
+        faults.stats().total(),
+        h.ipi_resends,
+        h.wakeup_rearms,
+        h.softirq_rearms,
+        h.yield_clamps,
+        // Downstream observables: if the RNG streams desynced, the
+        // packet timeline diverges too.
+        r.dp.packets(),
+        r.dp.total_latency().mean().to_bits(),
+        r.dp.total_latency().percentile(99.9),
+        r.cp_finished,
+        r.cp_turnaround.mean().to_bits(),
+        m.posted_interrupts(),
+    ];
+    (
+        m.events_skipped(),
+        fp,
+        m.trace_tsv().expect("trace enabled"),
+    )
+}
+
+#[test]
+fn skip_layer_is_identity_under_timer_jitter_faults() {
+    // Every fault class active, with a deliberately large timer jitter
+    // so virtually every kernel rearm takes a perturbed deadline.
+    std::env::set_var(
+        "TAICHI_FAULTS",
+        "all=0.05, jitter_ns=1500, storm_us=4000, storm_tasks=4",
+    );
+
+    let cells = [
+        (QueueBackend::Wheel, "on"),
+        (QueueBackend::Wheel, "off"),
+        (QueueBackend::Heap, "on"),
+        (QueueBackend::Heap, "off"),
+    ];
+    let mut baseline: Option<(Vec<u64>, String)> = None;
+    for (backend, skip) in cells {
+        std::env::set_var(
+            "TAICHI_QUEUE",
+            match backend {
+                QueueBackend::Wheel => "wheel",
+                QueueBackend::Heap => "heap",
+            },
+        );
+        std::env::set_var("TAICHI_SKIP", skip);
+        let (skipped, fp, trace) = run_cell();
+        assert!(fp[2] > 0, "timer jitter must actually fire in this run");
+        if skip == "on" {
+            // Make sure the skip layer is actually exercised: without
+            // cancelled timers this whole matrix tests nothing.
+            assert!(skipped > 0, "skip layer must cancel some timers");
+        } else {
+            assert_eq!(skipped, 0, "skip=off must dispatch everything");
+        }
+        match &baseline {
+            None => {
+                baseline = Some((fp, trace));
+            }
+            Some((bfp, btrace)) => {
+                assert_eq!(
+                    *bfp, fp,
+                    "skip/fault fingerprint diverged at {backend:?}/skip={skip}"
+                );
+                assert_eq!(
+                    *btrace, trace,
+                    "trace TSV diverged at {backend:?}/skip={skip}"
+                );
+            }
+        }
+    }
+
+    std::env::remove_var("TAICHI_FAULTS");
+    std::env::remove_var("TAICHI_QUEUE");
+    std::env::remove_var("TAICHI_SKIP");
+}

@@ -35,7 +35,10 @@ use crate::vcpu_sched::VcpuScheduler;
 
 use taichi_cp::{CpTaskKind, TaskFactory, VmCreateRequest, VmStartupTracker};
 use taichi_dp::{DpService, TrafficGen};
-use taichi_hw::{Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, IrqVector, Packet};
+use taichi_hw::{
+    Accelerator, ApicFabric, CpuExecState, CpuId, HwWorkloadProbe, IoKind, IrqVector, Packet,
+    PacketId,
+};
 use taichi_os::{ActionBuf, CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
 use taichi_sim::trace::FailureDump;
 use taichi_sim::{
@@ -153,6 +156,12 @@ enum Event {
     },
     /// Periodic CP task-storm burst from the fault plan.
     FaultStorm,
+    /// A cross-NIC packet injected by an external driver (the fleet
+    /// layer's east-west delivery): enters the accelerator pipeline at
+    /// its arrival time exactly like a wire arrival.
+    RxInject {
+        packet: Packet,
+    },
 }
 
 /// Degradation-bookkeeping counters for the fault layer: every
@@ -288,6 +297,9 @@ pub struct Machine {
     util_interval: Option<SimDuration>,
 
     posted_interrupts: u64,
+    /// Packets delivered through [`Machine::inject_rx`]; doubles as
+    /// the sequence counter for their salted ID namespace.
+    injected_rx: u64,
 
     tracer: Option<Tracer>,
     /// Present only when the (env-overlaid) fault plan is active; a
@@ -494,6 +506,7 @@ impl Machine {
             util_samples: Vec::new(),
             util_interval: None,
             posted_interrupts: 0,
+            injected_rx: 0,
             tracer,
             fault,
             health: FaultHealth::default(),
@@ -540,6 +553,53 @@ impl Machine {
         self.gen_rngs.push(rng);
         self.pending_packet.push(Some(first));
         self.queue.schedule(at, Event::NextArrival { gen: idx });
+    }
+
+    /// Injects one cross-NIC rx packet arriving at `at` (clamped to
+    /// the current clock): the fleet layer delivers east-west traffic
+    /// originating on other machines through this hook. The packet is
+    /// assigned a machine-unique ID in a dedicated high-bit-salted
+    /// namespace — injected IDs never collide with generator-produced
+    /// ones — and enters the accelerator pipeline exactly like a wire
+    /// arrival (preprocess, V-state probe check, shared-memory
+    /// delivery). Injection order is part of the deterministic
+    /// schedule: identical injection sequences give bit-identical
+    /// runs.
+    pub fn inject_rx(
+        &mut self,
+        at: SimTime,
+        kind: IoKind,
+        size_bytes: u32,
+        dest_cpu: CpuId,
+    ) -> PacketId {
+        const INJECT_SALT: u64 = 1 << 63;
+        let id = PacketId(INJECT_SALT | self.injected_rx);
+        self.injected_rx += 1;
+        let at = at.max(self.now);
+        let packet = Packet::new(id, kind, size_bytes, dest_cpu, 0, at);
+        self.queue.schedule(at, Event::RxInject { packet });
+        id
+    }
+
+    /// Packets delivered through [`Machine::inject_rx`] so far.
+    pub fn injected_rx(&self) -> u64 {
+        self.injected_rx
+    }
+
+    /// Drains every DP service's accumulated latency records into one
+    /// merged recorder, leaving the services empty. The fleet layer
+    /// calls this at each epoch boundary and folds the returned delta
+    /// straight into its rack-level aggregate, so no per-machine
+    /// history accumulates anywhere. Whole-run reporting
+    /// ([`crate::metrics::RunReport::collect`]) reads the recorders
+    /// cumulatively and must not be mixed with per-epoch draining on
+    /// the same machine.
+    pub fn drain_dp_recorders(&mut self) -> taichi_dp::LatencyRecorder {
+        let mut merged = taichi_dp::LatencyRecorder::new();
+        for s in &mut self.services {
+            merged.merge(&s.take_recorder());
+        }
+        merged
     }
 
     /// Spawns one CP task now with the mode's default CP affinity.
@@ -745,6 +805,7 @@ impl Machine {
                 attempt,
             } => self.route_ipi(src, dst, vector, attempt),
             Event::FaultStorm => self.on_fault_storm(),
+            Event::RxInject { packet } => self.ingest_packet(packet),
         }
         // Only kernel mutations and vCPU exits can free a CP host or
         // make a vCPU runnable, and all of them set the dirty flag —

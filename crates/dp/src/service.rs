@@ -303,6 +303,15 @@ impl DpService {
         &self.tagged
     }
 
+    /// Takes the accumulated latency records, leaving an empty
+    /// recorder behind. Epoch-oriented drivers (the fleet layer) drain
+    /// each machine per epoch and fold the delta into a streaming
+    /// aggregate, so no service retains its full history; counters
+    /// (`processed`, `dropped`) stay cumulative.
+    pub fn take_recorder(&mut self) -> LatencyRecorder {
+        std::mem::take(&mut self.recorder)
+    }
+
     /// Total packets processed.
     pub fn processed(&self) -> u64 {
         self.processed

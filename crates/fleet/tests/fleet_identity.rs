@@ -1,0 +1,109 @@
+//! Fleet determinism matrix: the rack-level CSV and aggregate
+//! fingerprint must be **byte-identical** across
+//! `{wheel, heap}` queue backends × `{skip on, skip off}` ×
+//! `{sequential, epoch-parallel}` drivers × `{1, 4}` workers.
+//!
+//! This is the fleet analogue of `queue_backends.rs`: machine-level
+//! identity says one NIC's exports don't depend on the scheduling
+//! core's implementation; fleet identity additionally says the rack
+//! fold doesn't depend on how machines are sharded across worker
+//! threads or in what order their epoch deltas arrive.
+//!
+//! Kept as a single `#[test]` on purpose: `TAICHI_QUEUE` and
+//! `TAICHI_SKIP` are process-global environment variables, and sibling
+//! tests running concurrently in this binary would race on them.
+
+use taichi_fleet::{run, FleetConfig, FleetDriver};
+use taichi_sim::{QueueBackend, SimDuration};
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        machines: 6,
+        epochs: 5,
+        epoch_len: SimDuration::from_millis(2),
+        seed: 0x0F1E_E71D,
+        churn_per_epoch: 1.5,
+        storm_epoch: Some(2),
+        storm_vms_per_machine: 2,
+        check_invariants: true,
+        ..FleetConfig::default()
+    }
+}
+
+struct Artifacts {
+    fingerprint: Vec<u64>,
+    epoch_csv: String,
+    summary_csv: String,
+}
+
+fn collect(backend: QueueBackend, skip: &str, driver: FleetDriver) -> Artifacts {
+    std::env::set_var(
+        "TAICHI_QUEUE",
+        match backend {
+            QueueBackend::Wheel => "wheel",
+            QueueBackend::Heap => "heap",
+        },
+    );
+    std::env::set_var("TAICHI_SKIP", skip);
+    assert_eq!(QueueBackend::from_env(), backend, "selector must resolve");
+    let result = run(&config(), driver);
+    std::env::remove_var("TAICHI_QUEUE");
+    std::env::remove_var("TAICHI_SKIP");
+    assert_eq!(
+        result.violation_count, 0,
+        "invariants must hold on every machine at every epoch boundary \
+         ({backend:?}/skip={skip}/{driver:?}): {:?}",
+        result.violations
+    );
+    Artifacts {
+        fingerprint: result.fingerprint(),
+        epoch_csv: result.epoch_table().to_csv(),
+        summary_csv: result.summary_table().to_csv(),
+    }
+}
+
+#[test]
+fn rack_artifacts_are_byte_identical_across_the_matrix() {
+    let drivers = [
+        FleetDriver::Sequential,
+        FleetDriver::EpochParallel { workers: 1 },
+        FleetDriver::EpochParallel { workers: 4 },
+    ];
+    let cells = [
+        (QueueBackend::Wheel, "on"),
+        (QueueBackend::Wheel, "off"),
+        (QueueBackend::Heap, "on"),
+        (QueueBackend::Heap, "off"),
+    ];
+
+    // Reference: the production cell under the reference driver.
+    let baseline = collect(cells[0].0, cells[0].1, drivers[0]);
+    assert!(
+        baseline.epoch_csv.lines().count() == config().epochs + 1,
+        "one CSV row per epoch plus the header"
+    );
+    // The run must actually exercise the fleet: east-west injections
+    // and a storm both show up in the CSV.
+    assert!(baseline.epoch_csv.contains(','), "CSV renders");
+
+    for &(backend, skip) in &cells {
+        for &driver in &drivers {
+            let other = collect(backend, skip, driver);
+            assert_eq!(
+                baseline.fingerprint, other.fingerprint,
+                "aggregate fingerprint differs: wheel/skip=on/Sequential \
+                 vs {backend:?}/skip={skip}/{driver:?}"
+            );
+            assert_eq!(
+                baseline.epoch_csv, other.epoch_csv,
+                "rack CSV differs: wheel/skip=on/Sequential \
+                 vs {backend:?}/skip={skip}/{driver:?}"
+            );
+            assert_eq!(
+                baseline.summary_csv, other.summary_csv,
+                "summary CSV differs: wheel/skip=on/Sequential \
+                 vs {backend:?}/skip={skip}/{driver:?}"
+            );
+        }
+    }
+}

@@ -48,9 +48,9 @@ impl Histogram {
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += value as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value as u128);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         let v = value as f64;
@@ -66,9 +66,9 @@ impl Histogram {
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += n;
-        self.count += n;
-        self.sum += value as u128 * n as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value as u128 * n as u128);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         let v = value as f64;
@@ -76,15 +76,23 @@ impl Histogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Everything the fleet fold exports — bucket counts, `count`,
+    /// `sum`, `min`/`max`, and therefore every quantile and the mean —
+    /// is accumulated in saturating integer arithmetic, so the merge
+    /// is exactly commutative and associative regardless of fold
+    /// order. Only `sum_sq` (feeding [`Histogram::stddev`]) is a
+    /// float accumulation and thus order-sensitive; order-invariant
+    /// consumers must not export it.
     pub fn merge(&mut self, other: &Histogram) {
         if other.buckets.len() > self.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }
         for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *dst += src;
+            *dst = dst.saturating_add(*src);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -241,6 +249,12 @@ impl Histogram {
     }
 
     /// Returns the `[lo, hi)` value range covered by bucket `idx`.
+    ///
+    /// The top tier's last bucket nominally ends at 2^64, which does
+    /// not fit in a `u64`; its upper bound saturates to `u64::MAX`
+    /// (the bucket is closed at the top instead of half-open). Without
+    /// the saturation, recording a value at or near `u64::MAX` and
+    /// then asking for any quantile overflowed the bound computation.
     fn bucket_bounds(idx: usize) -> (u64, u64) {
         let tier = idx / SUB_BUCKETS;
         let sub = (idx % SUB_BUCKETS) as u64;
@@ -250,7 +264,10 @@ impl Histogram {
         let shift = tier as u32 - 1;
         let base = (SUB_BUCKETS as u64) << shift;
         let width = 1u64 << shift;
-        (base + sub * width, base + (sub + 1) * width)
+        (
+            base.saturating_add(sub * width),
+            base.saturating_add(sub.saturating_add(1).saturating_mul(width)),
+        )
     }
 }
 
@@ -438,6 +455,146 @@ mod tests {
         assert_eq!(a.max(), combined.max());
         assert_eq!(a.percentile(50.0), combined.percentile(50.0));
         assert_eq!(a.percentile(99.0), combined.percentile(99.0));
+    }
+
+    #[test]
+    fn top_bucket_bounds_saturate_instead_of_overflowing() {
+        // Recording a value in the topmost bucket and then asking for a
+        // quantile used to overflow `bucket_bounds` (the nominal upper
+        // bound of the last bucket is 2^64).
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Mid-bucket interpolation stays clamped to the observed range.
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= h.min() && p50 <= h.max());
+        // CDF and fraction_below walk the same bounds.
+        assert!(!h.cdf().is_empty());
+        assert!(h.fraction_below(u64::MAX) <= 1.0);
+        let idx = Histogram::bucket_index(u64::MAX);
+        let (lo, hi) = Histogram::bucket_bounds(idx);
+        assert_eq!(hi, u64::MAX, "top bucket saturates instead of overflowing");
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_matches_combined() {
+        // One histogram entirely below the other, with the upper one
+        // reaching the saturated top bucket.
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [1u64, 2, 5, 60, 63] {
+            lo.record(v);
+            combined.record(v);
+        }
+        for v in [u64::MAX - 7, u64::MAX - 1, u64::MAX] {
+            hi.record(v);
+            combined.record(v);
+        }
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.min(), combined.min());
+        assert_eq!(merged.max(), combined.max());
+        assert_eq!(merged.quantile(0.0), 1);
+        assert_eq!(merged.quantile(1.0), u64::MAX);
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), combined.quantile(q), "q={q}");
+        }
+        // Merge in the opposite order: identical integer state.
+        let mut rev = hi.clone();
+        rev.merge(&lo);
+        assert_eq!(rev.count(), merged.count());
+        assert_eq!(rev.quantile(0.5), merged.quantile(0.5));
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut a = Histogram::new();
+        a.record_n(100, u64::MAX);
+        a.record_n(100, 5); // would wrap without saturation
+        assert_eq!(a.count(), u64::MAX);
+        let mut b = Histogram::new();
+        b.record_n(200, u64::MAX - 1);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        // Quantiles stay well-defined on a saturated histogram.
+        let q = a.quantile(0.5);
+        assert!(q >= a.min() && q <= a.max());
+    }
+
+    #[test]
+    fn quantile_on_merged_then_empty_stays_zero() {
+        // Folding nothing but empties (a fleet epoch where no machine
+        // completed a packet) must leave every quantile at the empty
+        // sentinel, not leak min = u64::MAX through interpolation.
+        let mut acc = Histogram::new();
+        for _ in 0..4 {
+            acc.merge(&Histogram::new());
+        }
+        assert!(acc.is_empty());
+        assert_eq!(acc.quantile(0.5), 0);
+        assert_eq!(acc.percentile(99.0), 0);
+        assert_eq!(acc.min(), 0);
+        assert_eq!(acc.max(), 0);
+    }
+
+    /// Randomized merge trees: fold a pool of leaf histograms in a
+    /// random binary-tree order and compare against recording every
+    /// sample into one histogram. Everything integer-valued must match
+    /// exactly, independent of tree shape.
+    #[test]
+    fn randomized_merge_trees_equal_combined_recording() {
+        let mut rng = crate::rng::Rng::new(0x4157_0001);
+        for round in 0..20 {
+            let leaves = 2 + (round % 7) as usize;
+            let mut pool = Vec::new();
+            let mut combined = Histogram::new();
+            for _ in 0..leaves {
+                let mut h = Histogram::new();
+                let samples = rng.gen_range(0, 200); // empties included
+                for _ in 0..samples {
+                    // Mix magnitudes: sub-bucket exact values, mid-range,
+                    // and occasional top-tier extremes.
+                    let v = match rng.next_below(10) {
+                        0 => rng.next_below(64),
+                        1..=7 => rng.next_below(10_000_000),
+                        8 => u64::MAX - rng.next_below(1000),
+                        _ => rng.next_u64(),
+                    };
+                    h.record(v);
+                    combined.record(v);
+                }
+                pool.push(h);
+            }
+            // Random merge tree: repeatedly merge two random nodes.
+            while pool.len() > 1 {
+                let i = rng.next_below(pool.len() as u64) as usize;
+                let right = pool.swap_remove(i);
+                let j = rng.next_below(pool.len() as u64) as usize;
+                pool[j].merge(&right);
+            }
+            let folded = &pool[0];
+            assert_eq!(folded.count(), combined.count(), "round {round}");
+            assert_eq!(folded.min(), combined.min(), "round {round}");
+            assert_eq!(folded.max(), combined.max(), "round {round}");
+            assert_eq!(
+                folded.mean().to_bits(),
+                combined.mean().to_bits(),
+                "round {round}: integer sum/count mean must be exact"
+            );
+            for p in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                assert_eq!(
+                    folded.percentile(p),
+                    combined.percentile(p),
+                    "round {round} p{p}"
+                );
+            }
+        }
     }
 
     #[test]

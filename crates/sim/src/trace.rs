@@ -491,6 +491,25 @@ impl Tracer {
         out
     }
 
+    /// Per-ring eviction warning: `Some(message)` when this ring has
+    /// evicted events, `None` when the buffer still holds the complete
+    /// schedule. The message reports **this ring's** drop and survivor
+    /// counts — when a process exports many machines' traces, each
+    /// export must consult its own ring, never a process-global
+    /// tally.
+    pub fn eviction_warning(&self) -> Option<String> {
+        let b = self.inner.borrow();
+        if b.dropped == 0 {
+            return None;
+        }
+        Some(format!(
+            "trace ring evicted {} event(s); the TSV holds only the \
+             newest {} (raise TraceConfig::capacity for a full schedule)",
+            b.dropped,
+            b.ring.len()
+        ))
+    }
+
     /// Renders the trace as a stable TSV: a header, one line per
     /// buffered event, then the counter registry and drop count as
     /// `#`-prefixed footer lines. Identical seeds produce byte-
@@ -514,6 +533,52 @@ impl Tracer {
         }
         let _ = writeln!(s, "# dropped\t{}", b.dropped);
         s
+    }
+}
+
+/// Process-global registry of claimed trace-export destinations.
+///
+/// When many machines export TSVs in one process under an explicit
+/// `TAICHI_TRACE=<path>`, writing the same path from every export
+/// silently clobbers all rings but the last — and the eviction
+/// warning printed alongside then describes a different ring than the
+/// file holds. [`claim_export_path`] makes the destination per-export.
+static EXPORT_PATHS: std::sync::OnceLock<std::sync::Mutex<BTreeMap<String, u64>>> =
+    std::sync::OnceLock::new();
+
+/// Claims an explicit trace-export destination for one ring's TSV.
+///
+/// The first claim of `path` in this process gets it verbatim; every
+/// subsequent claim gets the disambiguated `<path>.<n>` (n counting
+/// from 1) plus a warning message explaining the rename, so no export
+/// overwrites another ring's schedule. Claims are process-global and
+/// thread-safe.
+pub fn claim_export_path(path: &str) -> (std::path::PathBuf, Option<String>) {
+    let mut map = EXPORT_PATHS
+        .get_or_init(|| std::sync::Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let n = map.entry(path.to_string()).or_insert(0);
+    *n += 1;
+    if *n == 1 {
+        (std::path::PathBuf::from(path), None)
+    } else {
+        let unique = format!("{path}.{}", *n - 1);
+        let warning = format!(
+            "TAICHI_TRACE destination {path} was already written by an \
+             earlier export in this process; writing {unique} instead \
+             so the earlier ring's schedule survives"
+        );
+        (std::path::PathBuf::from(unique), Some(warning))
+    }
+}
+
+/// Forgets all claimed export destinations (test helper, mirroring
+/// `env::reset_warned`).
+#[doc(hidden)]
+pub fn reset_export_paths() {
+    if let Some(m) = EXPORT_PATHS.get() {
+        m.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
@@ -546,18 +611,17 @@ impl Drop for FailureDump {
         if path.is_empty() {
             return;
         }
-        match std::fs::write(&path, self.tracer.to_tsv()) {
+        let (path, clash) = claim_export_path(&path);
+        let path = path.display();
+        if let Some(w) = clash {
+            eprintln!("[taichi-trace] {}: warning: {w}", self.label);
+        }
+        match std::fs::write(path.to_string(), self.tracer.to_tsv()) {
             Ok(()) => eprintln!("[taichi-trace] {}: wrote {path}", self.label),
             Err(e) => eprintln!("[taichi-trace] {}: could not write {path}: {e}", self.label),
         }
-        let dropped = self.tracer.dropped();
-        if dropped > 0 {
-            eprintln!(
-                "[taichi-trace] {}: warning: ring evicted {dropped} events; \
-                 the dump is the newest {} only (raise TraceConfig::capacity)",
-                self.label,
-                self.tracer.len()
-            );
+        if let Some(w) = self.tracer.eviction_warning() {
+            eprintln!("[taichi-trace] {}: warning: {w}", self.label);
         }
     }
 }
@@ -703,6 +767,47 @@ mod tests {
         t.emit(1, TraceKind::ProbeRecheck);
         assert_eq!(t.snapshot()[0].at.as_nanos(), 77);
         assert_eq!(t.now().as_nanos(), 77);
+    }
+
+    #[test]
+    fn eviction_accounting_is_per_ring() {
+        // Two machines' rings in one process: only the overflowing
+        // ring warns, and each ring's drop counter is its own.
+        let small = Tracer::new(2);
+        let large = Tracer::new(64);
+        for i in 0..8 {
+            ev(&small, i, 0, TraceKind::ProbeIrq);
+            ev(&large, i, 0, TraceKind::ProbeIrq);
+        }
+        assert_eq!(small.dropped(), 6);
+        assert_eq!(large.dropped(), 0);
+        let w = small.eviction_warning().expect("small ring overflowed");
+        assert!(w.contains("6 event(s)"), "{w}");
+        assert!(w.contains("newest 2"), "{w}");
+        assert!(large.eviction_warning().is_none());
+        // Draining one ring's warning must not consume the other's.
+        assert!(small.eviction_warning().is_some());
+    }
+
+    #[test]
+    fn export_path_claims_disambiguate() {
+        reset_export_paths();
+        let (p1, w1) = claim_export_path("/tmp/taichi-claim-test.tsv");
+        assert_eq!(p1, std::path::PathBuf::from("/tmp/taichi-claim-test.tsv"));
+        assert!(w1.is_none());
+        let (p2, w2) = claim_export_path("/tmp/taichi-claim-test.tsv");
+        assert_eq!(p2, std::path::PathBuf::from("/tmp/taichi-claim-test.tsv.1"));
+        assert!(w2.expect("second claim warns").contains("already written"));
+        let (p3, _) = claim_export_path("/tmp/taichi-claim-test.tsv");
+        assert_eq!(p3, std::path::PathBuf::from("/tmp/taichi-claim-test.tsv.2"));
+        // A different destination is untouched by earlier claims.
+        let (q1, wq) = claim_export_path("/tmp/taichi-claim-other.tsv");
+        assert_eq!(q1, std::path::PathBuf::from("/tmp/taichi-claim-other.tsv"));
+        assert!(wq.is_none());
+        reset_export_paths();
+        let (p4, w4) = claim_export_path("/tmp/taichi-claim-test.tsv");
+        assert_eq!(p4, std::path::PathBuf::from("/tmp/taichi-claim-test.tsv"));
+        assert!(w4.is_none());
     }
 
     #[test]

@@ -226,7 +226,16 @@ pub fn measure_cfg(
 fn maybe_dump_trace(m: &Machine) {
     let Some(tsv) = m.trace_tsv() else { return };
     let path = match std::env::var("TAICHI_TRACE") {
-        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        Ok(p) if !p.is_empty() => {
+            // Per-export destination claim: a process that measures
+            // several machines must not clobber earlier rings' TSVs
+            // (later exports land at `<path>.<n>`).
+            let (path, clash) = taichi_sim::trace::claim_export_path(&p);
+            if let Some(w) = clash {
+                eprintln!("warning: {w}");
+            }
+            path
+        }
         _ => {
             let dir = std::path::PathBuf::from("target/experiments");
             let _ = std::fs::create_dir_all(&dir);
@@ -237,6 +246,9 @@ fn maybe_dump_trace(m: &Machine) {
         eprintln!("warning: could not write trace {}: {e}", path.display());
     } else {
         eprintln!("[trace] {}", path.display());
+        if let Some(w) = m.tracer().and_then(|t| t.eviction_warning()) {
+            eprintln!("warning: {}: {w}", path.display());
+        }
     }
 }
 
