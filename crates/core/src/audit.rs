@@ -188,6 +188,13 @@ impl std::fmt::Display for InvariantReport {
 ///    degradation policy manifests).
 /// 5. **Monotone clock** — the event loop never observed time running
 ///    backwards.
+/// 6. **Packet conservation** — every packet the accelerator ingested
+///    is accounted for exactly once: processed by a service, waiting
+///    in a service ring, lost at a ring (overflow drop or fault
+///    reject), still in flight through the pipeline, or destined for
+///    a CPU with no service behind it (Type-2 emulation). In the
+///    multi-tenant configuration, each tenant's staging ring must
+///    additionally balance (`staged_in = issued + backlog + losses`).
 pub fn check_invariants(m: &Machine) -> InvariantReport {
     let mut violations = Vec::new();
     let health = m.fault_health();
@@ -262,6 +269,42 @@ pub fn check_invariants(m: &Machine) -> InvariantReport {
             "event clock ran backwards {} time(s)",
             health.clock_regressions
         ));
+    }
+
+    // 6. Packet conservation. Every ingested packet must sit in
+    // exactly one ledger: completed, queued, lost at a service ring
+    // (overflow drop or fault reject — counted separately since the
+    // fault-path double-charge fix), in flight through the pipeline,
+    // or ingested for a CPU no service backs (Type-2).
+    let ingested = m.accel().packets_ingested();
+    let mut processed = 0u64;
+    let mut queued = 0u64;
+    let mut lost = 0u64;
+    for s in m.services() {
+        processed += s.processed();
+        queued += s.pending() as u64;
+        lost += s.lost();
+    }
+    let inflight = m.dp_inflight_total();
+    let unrouted = m.unrouted_packets();
+    let accounted = processed + queued + lost + inflight + unrouted;
+    if ingested != accounted {
+        violations.push(format!(
+            "packet conservation broken: {ingested} ingested but {accounted} accounted \
+             (processed {processed} + queued {queued} + ring losses {lost} \
+             + in flight {inflight} + unrouted {unrouted})"
+        ));
+    }
+    // Multi-tenant: each staging ring must balance on its own —
+    // packets enqueued either left through the DRR arbiter or still
+    // wait in the ring, and ring losses never reach the pipeline.
+    for (t, (enq, deq, backlog, _lost)) in m.accel().tenant_staging_stats().iter().enumerate() {
+        if *enq != *deq + *backlog {
+            violations.push(format!(
+                "tenant {t} staging ring imbalance: {enq} enqueued vs \
+                 {deq} issued + {backlog} waiting"
+            ));
+        }
     }
 
     InvariantReport { violations }

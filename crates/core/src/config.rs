@@ -105,6 +105,106 @@ impl Default for TaiChiConfig {
     }
 }
 
+/// Multi-tenant data-path configuration (DESIGN.md §3.11).
+///
+/// The default — one tenant — leaves the engine on the pre-tenant code
+/// path, byte for byte: no arbiter is constructed, no per-tenant
+/// recorder exists, and no extra RNG stream is drawn. With `count > 1`
+/// the eNIC keeps one bounded rx ring per tenant and the accelerator's
+/// shared ingest port is arbitrated with weighted deficit round robin.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Number of tenants sharing the data path (1 = the paper's
+    /// single-operator configuration).
+    pub count: u32,
+    /// Per-tenant DRR weights. Empty means equal weights; a shorter
+    /// vector is padded with 1s, a longer one is truncated.
+    pub weights: Vec<u64>,
+    /// DRR byte credit per weight unit per round (default: one MTU).
+    pub quantum: u64,
+    /// Capacity of each tenant's eNIC staging ring, in descriptors.
+    pub ring_capacity: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            count: 1,
+            weights: Vec::new(),
+            quantum: 1_500,
+            ring_capacity: 1_024,
+        }
+    }
+}
+
+/// Parses `TAICHI_TENANTS_COUNT` / `--tenants` (a tenant count >= 1).
+pub fn parse_tenant_count(s: &str) -> Result<u32, String> {
+    match s.trim().parse::<u32>() {
+        Ok(0) | Err(_) => Err(format!(
+            "warning: {s:?} is not a valid tenant count \
+             (expected an integer >= 1); using the default"
+        )),
+        Ok(n) => Ok(n),
+    }
+}
+
+/// Parses `TAICHI_TENANTS_WEIGHTS` / `--weights`: colon-separated DRR
+/// weights, e.g. `3:1` (zero entries are rejected — a zero weight
+/// would starve a tenant forever, which the `TenantConfig` layer bumps
+/// to 1 anyway).
+pub fn parse_tenant_weights(s: &str) -> Result<Vec<u64>, String> {
+    let err = || {
+        format!(
+            "warning: {s:?} is not a valid weight vector \
+             (expected colon-separated integers >= 1, e.g. \"3:1\"); \
+             using the default"
+        )
+    };
+    let ws: Result<Vec<u64>, ()> = s
+        .trim()
+        .split(':')
+        .map(|p| match p.trim().parse::<u64>() {
+            Ok(0) | Err(_) => Err(()),
+            Ok(w) => Ok(w),
+        })
+        .collect();
+    match ws {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(err()),
+    }
+}
+
+impl TenantConfig {
+    /// True when the multi-tenant machinery should be constructed.
+    pub fn is_multi(&self) -> bool {
+        self.count > 1
+    }
+
+    /// Overlays the `TAICHI_TENANTS_COUNT` and `TAICHI_TENANTS_WEIGHTS`
+    /// environment knobs on this config, following the workspace
+    /// convention (unset keeps, valid applies, invalid warns once and
+    /// keeps).
+    pub fn apply_env(&mut self) {
+        use taichi_sim::env::env_parse_or_warn;
+        if let Some(v) = env_parse_or_warn("TAICHI_TENANTS_COUNT", parse_tenant_count) {
+            self.count = v;
+        }
+        if let Some(v) = env_parse_or_warn("TAICHI_TENANTS_WEIGHTS", parse_tenant_weights) {
+            self.weights = v;
+        }
+    }
+
+    /// The effective weight vector: `weights` normalized to exactly
+    /// `count` entries (missing entries default to weight 1; zero
+    /// weights are bumped to 1 — a starved tenant would deadlock the
+    /// conservation audit, not model anything physical).
+    pub fn effective_weights(&self) -> Vec<u64> {
+        (0..self.count as usize)
+            .map(|i| self.weights.get(i).copied().unwrap_or(1).max(1))
+            .collect()
+    }
+}
+
 /// Full-machine configuration.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -118,6 +218,9 @@ pub struct MachineConfig {
     pub accel: AcceleratorConfig,
     /// Per-DP-service knobs.
     pub dp: DpServiceConfig,
+    /// Multi-tenant data-path knobs (default: one tenant — the
+    /// pre-tenant engine, byte for byte).
+    pub tenants: TenantConfig,
     /// Type-2 baseline model (used only in `Mode::Type2`).
     pub type2: Type2Model,
     /// Execution tax applied to DP services in `Mode::TaiChiVdp`
@@ -156,6 +259,7 @@ impl Default for MachineConfig {
             kernel: KernelConfig::default(),
             accel: AcceleratorConfig::default(),
             dp: DpServiceConfig::default(),
+            tenants: TenantConfig::default(),
             type2: Type2Model::default(),
             vdp_exec_tax: 1.08,
             seed: 0xD1CE,
@@ -186,5 +290,33 @@ mod tests {
         assert_eq!(m.spec.num_cpus, 12);
         assert_eq!(m.spec.dp_cpus, 8);
         assert!(m.vdp_exec_tax > 1.0);
+        assert!(!m.tenants.is_multi(), "default must be single-tenant");
+    }
+
+    #[test]
+    fn tenant_knob_parsers_accept_and_reject() {
+        assert_eq!(parse_tenant_count("4"), Ok(4));
+        assert!(parse_tenant_count("0").is_err());
+        assert!(parse_tenant_count("many").is_err());
+        assert_eq!(parse_tenant_weights("3:1"), Ok(vec![3, 1]));
+        assert_eq!(parse_tenant_weights(" 8 : 2 : 1 "), Ok(vec![8, 2, 1]));
+        assert!(parse_tenant_weights("3:0").is_err());
+        assert!(parse_tenant_weights("").is_err());
+        assert!(parse_tenant_weights("a:b").is_err());
+    }
+
+    #[test]
+    fn tenant_weights_normalize() {
+        let t = TenantConfig {
+            count: 3,
+            weights: vec![4, 0],
+            ..TenantConfig::default()
+        };
+        assert_eq!(t.effective_weights(), vec![4, 1, 1]);
+        let equal = TenantConfig {
+            count: 2,
+            ..TenantConfig::default()
+        };
+        assert_eq!(equal.effective_weights(), vec![1, 1]);
     }
 }

@@ -37,7 +37,9 @@ pub mod slice;
 pub mod vcpu_sched;
 
 pub use audit::{assert_invariants, check_invariants, AuditReport, AuditSession, InvariantReport};
-pub use config::{MachineConfig, SkipMode, TaiChiConfig};
+pub use config::{
+    parse_tenant_count, parse_tenant_weights, MachineConfig, SkipMode, TaiChiConfig, TenantConfig,
+};
 pub use machine::{FaultHealth, Machine, Mode};
 pub use metrics::RunReport;
 pub use sched::{make_scheduler, KernelCtx, PolicyKind, ReschedulePick, Scheduler};

@@ -147,6 +147,10 @@ enum Event {
         batch: usize,
     },
     UtilSample,
+    /// Multi-tenant ingress: the accelerator's shared ingest port is
+    /// free — issue the next staged packet in DRR order. Never
+    /// scheduled in the single-tenant configuration.
+    ArbiterIssue,
     /// Bounded re-send of an IPI the fault layer dropped or delayed.
     IpiRetry {
         src: CpuId,
@@ -300,6 +304,17 @@ pub struct Machine {
     /// Packets delivered through [`Machine::inject_rx`]; doubles as
     /// the sequence counter for their salted ID namespace.
     injected_rx: u64,
+    /// True while an [`Event::ArbiterIssue`] is outstanding — at most
+    /// one issue event is in flight, so the shared ingest port is
+    /// modelled without event cancellation. Always false when
+    /// single-tenant.
+    arbiter_armed: bool,
+    /// Packets ingested for a CPU with no DP service behind it (Type-2
+    /// runs emulate away DP CPUs). Previously these vanished from
+    /// every counter; the conservation audit (invariant 6) now
+    /// balances against this. Counted at ingest so the equation holds
+    /// even while such a packet is still in the pipeline.
+    unrouted: u64,
 
     tracer: Option<Tracer>,
     /// Present only when the (env-overlaid) fault plan is active; a
@@ -454,6 +469,21 @@ impl Machine {
             }
         }
 
+        // Multi-tenant data path (DESIGN.md §3.11): constructed only
+        // when asked for, so the default single-tenant machine carries
+        // zero tenant state and stays byte-identical to the pre-tenant
+        // engine.
+        if cfg.tenants.is_multi() {
+            accel.enable_tenants(
+                &cfg.tenants.effective_weights(),
+                cfg.tenants.quantum,
+                cfg.tenants.ring_capacity,
+            );
+            for s in &mut services {
+                s.set_tenants(cfg.tenants.count as usize);
+            }
+        }
+
         let n_v = vcpu_ids.len();
         let skip = cfg.skip.unwrap_or_else(SkipMode::from_env).is_on();
         let uses_vcpus = policy.uses_vcpus();
@@ -507,6 +537,8 @@ impl Machine {
             util_interval: None,
             posted_interrupts: 0,
             injected_rx: 0,
+            arbiter_armed: false,
+            unrouted: 0,
             tracer,
             fault,
             health: FaultHealth::default(),
@@ -572,11 +604,26 @@ impl Machine {
         size_bytes: u32,
         dest_cpu: CpuId,
     ) -> PacketId {
+        self.inject_rx_for_tenant(at, kind, size_bytes, dest_cpu, taichi_hw::TenantId::HOST)
+    }
+
+    /// [`Machine::inject_rx`] with an explicit tenant tag — east-west
+    /// traffic belonging to a specific tenant in a multi-tenant fleet.
+    /// Tagging is pure relabelling: with one tenant the tag is ignored
+    /// by every downstream component.
+    pub fn inject_rx_for_tenant(
+        &mut self,
+        at: SimTime,
+        kind: IoKind,
+        size_bytes: u32,
+        dest_cpu: CpuId,
+        tenant: taichi_hw::TenantId,
+    ) -> PacketId {
         const INJECT_SALT: u64 = 1 << 63;
         let id = PacketId(INJECT_SALT | self.injected_rx);
         self.injected_rx += 1;
         let at = at.max(self.now);
-        let packet = Packet::new(id, kind, size_bytes, dest_cpu, 0, at);
+        let packet = Packet::new(id, kind, size_bytes, dest_cpu, 0, at).with_tenant(tenant);
         self.queue.schedule(at, Event::RxInject { packet });
         id
     }
@@ -805,6 +852,7 @@ impl Machine {
                 attempt,
             } => self.route_ipi(src, dst, vector, attempt),
             Event::FaultStorm => self.on_fault_storm(),
+            Event::ArbiterIssue => self.on_arbiter_issue(),
             Event::RxInject { packet } => self.ingest_packet(packet),
         }
         // Only kernel mutations and vCPU exits can free a CP host or
@@ -858,10 +906,33 @@ impl Machine {
     }
 
     fn ingest_packet(&mut self, mut packet: Packet) {
+        if self.accel.multi_tenant() {
+            // Multi-tenant path: park the packet in its tenant's eNIC
+            // staging ring; the DRR arbiter pulls it through the shared
+            // ingest port when the port frees up. A full ring drops at
+            // the ring (counted per tenant) — the packet never reaches
+            // the accelerator pipeline.
+            if self.accel.stage(packet) {
+                self.kick_arbiter();
+            }
+            return;
+        }
         if let Some(si) = self.dp_index(packet.dest_cpu) {
             self.dp_inflight[si] += 1;
+        } else {
+            // Destined for a CPU with no service (Type-2 emulated it
+            // away): ledger it now so conservation (audit invariant 6)
+            // balances even while the packet is still in the pipeline.
+            self.unrouted += 1;
         }
         let out = self.accel.ingest(&mut packet, self.now, &mut self.hw_probe);
+        self.schedule_pipeline(packet, out);
+    }
+
+    /// Schedules the probe IRQ and shared-memory delivery for a packet
+    /// the accelerator just ingested (shared by the direct single-tenant
+    /// path and the arbiter issue path).
+    fn schedule_pipeline(&mut self, packet: Packet, out: taichi_hw::accel::PipelineOutput) {
         if let Some(cpu) = out.probe_irq {
             // A probe IRQ lost in the fabric is survivable: the probe
             // re-checks the CPU state when the packet reaches shared
@@ -877,13 +948,46 @@ impl Machine {
             .schedule(out.delivered_at.max(self.now), Event::Delivered { packet });
     }
 
+    /// Arms the next [`Event::ArbiterIssue`] if staged packets exist
+    /// and none is outstanding — at most one issue event is ever in
+    /// flight, so the port model needs no cancellation.
+    fn kick_arbiter(&mut self) {
+        if self.arbiter_armed || self.accel.staged() == 0 {
+            return;
+        }
+        self.arbiter_armed = true;
+        let at = self.accel.port_free().max(self.now);
+        self.queue.schedule(at, Event::ArbiterIssue);
+    }
+
+    /// The shared ingest port is free: issue the next staged packet in
+    /// DRR order and re-arm while backlog remains.
+    fn on_arbiter_issue(&mut self) {
+        self.arbiter_armed = false;
+        let now = self.now;
+        if let Some((packet, out)) = self.accel.issue_next(now, &mut self.hw_probe) {
+            if let Some(si) = self.dp_index(packet.dest_cpu) {
+                self.dp_inflight[si] += 1;
+            } else {
+                self.unrouted += 1;
+            }
+            self.schedule_pipeline(packet, out);
+        }
+        self.kick_arbiter();
+    }
+
     fn on_delivered(&mut self, packet: Packet) {
         let host = packet.dest_cpu;
         self.trace(host, TraceKind::AccelTransferDone { pkt: packet.id.0 });
         let Some(si) = self.dp_index(host) else {
-            return; // CPU lost to emulation in type-2: no service
+            // CPU lost to emulation in type-2: no service behind it.
+            // Already ledgered as unrouted at ingest (audit invariant
+            // 6 balances against that counter) — it used to vanish.
+            return;
         };
         self.dp_inflight[si] = self.dp_inflight[si].saturating_sub(1);
+        // A rejected enqueue is already accounted at the ring (overflow
+        // drop or fault reject), so the bool needs no handling here.
         self.services[si].enqueue(packet, self.now);
         self.yield_armed[si] = false;
         if self.vsched.host_free(host) {
@@ -1728,5 +1832,73 @@ impl Machine {
     /// against the occupancy map and the vCPU state machines.
     pub fn grant_hosts(&self) -> &[Option<CpuId>] {
         &self.grant_host
+    }
+
+    /// The accelerator (ingest/staging counters for the conservation
+    /// audit and the per-tenant ingress statistics).
+    pub fn accel(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Packets ingested for a CPU with no DP service behind it (only
+    /// possible in Type-2 runs, where emulation removes DP CPUs).
+    pub fn unrouted_packets(&self) -> u64 {
+        self.unrouted
+    }
+
+    /// Packets currently in flight through the accelerator pipeline
+    /// (ingested, not yet delivered), summed over DP CPUs.
+    pub fn dp_inflight_total(&self) -> u64 {
+        self.dp_inflight.iter().map(|&n| n as u64).sum()
+    }
+
+    /// Number of tenants sharing the data path (1 unless multi-tenancy
+    /// was configured).
+    pub fn tenant_count(&self) -> usize {
+        self.accel.tenant_count()
+    }
+
+    /// Drains every DP service's per-tenant latency records into one
+    /// merged recorder per tenant, leaving the services empty — the
+    /// per-tenant sibling of [`Machine::drain_dp_recorders`], with the
+    /// same epoch-draining contract. Empty when single-tenant.
+    pub fn drain_tenant_recorders(&mut self) -> Vec<taichi_dp::LatencyRecorder> {
+        let n = if self.accel.multi_tenant() {
+            self.accel.tenant_count()
+        } else {
+            return Vec::new();
+        };
+        let mut merged: Vec<taichi_dp::LatencyRecorder> =
+            (0..n).map(|_| taichi_dp::LatencyRecorder::new()).collect();
+        for s in &mut self.services {
+            for (t, rec) in s.take_tenant_recorders().into_iter().enumerate() {
+                merged[t].merge(&rec);
+            }
+        }
+        merged
+    }
+
+    /// Per-tenant SLO ledger: `(issued, issued_bytes, ring_losses,
+    /// processed, queue_drops)` per tenant — ingress counters from the
+    /// DRR arbiter joined with the DP services' completion/drop splits.
+    /// Empty when single-tenant.
+    pub fn tenant_totals(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        if !self.accel.multi_tenant() {
+            return Vec::new();
+        }
+        let ingress = self.accel.tenant_ingress_stats();
+        let mut totals: Vec<(u64, u64, u64, u64, u64)> = ingress
+            .into_iter()
+            .map(|(pkts, bytes, lost)| (pkts, bytes, lost, 0, 0))
+            .collect();
+        for s in &self.services {
+            for (t, (processed, drops)) in s.tenant_counts().into_iter().enumerate() {
+                if let Some(row) = totals.get_mut(t) {
+                    row.3 += processed;
+                    row.4 += drops;
+                }
+            }
+        }
+        totals
     }
 }

@@ -14,7 +14,7 @@
 //! destination-CPU spraying policy (round-robin over the DP CPUs,
 //! matching RSS across queues).
 
-use taichi_hw::{CpuId, IoKind, Packet, PacketId};
+use taichi_hw::{CpuId, IoKind, Packet, PacketId, TenantId};
 use taichi_sim::{Dist, Rng, SimDuration, SimTime};
 
 /// When packets arrive.
@@ -98,6 +98,7 @@ pub struct TrafficGen {
     source: Source,
     kind: IoKind,
     queue: u32,
+    tenant: TenantId,
     next_id: u64,
     clock: SimTime,
 }
@@ -126,6 +127,7 @@ impl TrafficGen {
             },
             kind,
             queue: 0,
+            tenant: TenantId::HOST,
             next_id: 0,
             clock: SimTime::ZERO,
         }
@@ -151,6 +153,7 @@ impl TrafficGen {
             },
             kind,
             queue: 0,
+            tenant: TenantId::HOST,
             next_id: 0,
             clock: SimTime::ZERO,
         }
@@ -171,6 +174,15 @@ impl TrafficGen {
     /// the data path sparsely and uniformly in time.
     pub fn with_queue(mut self, queue: u32) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Tags generated packets with an owning tenant (default: the
+    /// implicit single-operator tenant 0). Pure relabelling — no RNG
+    /// draw — so a tenant-0 generator is byte-identical to a
+    /// pre-tenant one.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -237,7 +249,7 @@ impl TrafficGen {
         self.clock = at;
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        Packet::new(id, self.kind, size, dest, self.queue, self.clock)
+        Packet::new(id, self.kind, size, dest, self.queue, self.clock).with_tenant(self.tenant)
     }
 
     fn next_gap(&mut self, rng: &mut Rng) -> SimDuration {

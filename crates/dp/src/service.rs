@@ -89,6 +89,14 @@ pub struct DpService {
     proc_cost: PreparedDist,
     recorder: LatencyRecorder,
     tagged: LatencyRecorder,
+    /// Per-tenant latency/throughput recorders, indexed by `TenantId`.
+    /// Empty in the single-tenant configuration — the pre-tenant hot
+    /// path does not touch them (DESIGN.md §3.11).
+    tenant_recorders: Vec<LatencyRecorder>,
+    /// Per-tenant processed-packet counts (empty when single-tenant).
+    tenant_processed: Vec<u64>,
+    /// Per-tenant ring-overflow drops (empty when single-tenant).
+    tenant_drops: Vec<u64>,
     processed: u64,
     /// Extra execution tax applied to all processing (used by the
     /// Tai Chi-vDP mode, where the service itself runs in a vCPU).
@@ -119,6 +127,9 @@ impl DpService {
             meter: UtilizationMeter::new(SimTime::ZERO),
             recorder: LatencyRecorder::new(),
             tagged: LatencyRecorder::new(),
+            tenant_recorders: Vec::new(),
+            tenant_processed: Vec::new(),
+            tenant_drops: Vec::new(),
             processed: 0,
             exec_tax: 1.0,
         }
@@ -136,12 +147,31 @@ impl DpService {
         self.exec_tax = tax.max(1.0);
     }
 
+    /// Switches the service to multi-tenant accounting: per-tenant
+    /// latency recorders plus per-tenant processed/drop counters for
+    /// `tenants` tenants. A no-op (and free) when never called — the
+    /// single-tenant path stays byte-identical to the pre-tenant
+    /// engine.
+    pub fn set_tenants(&mut self, tenants: usize) {
+        if tenants > 1 {
+            self.tenant_recorders = (0..tenants).map(|_| LatencyRecorder::new()).collect();
+            self.tenant_processed = vec![0; tenants];
+            self.tenant_drops = vec![0; tenants];
+        }
+    }
+
     /// Deposits a delivered packet into the service's ring.
     ///
     /// Returns `false` when the ring overflowed (packet dropped).
     pub fn enqueue(&mut self, packet: Packet, now: SimTime) -> bool {
         let was_empty = self.queue.is_empty();
+        let tenant = packet.tenant.index();
+        let before = self.queue.total_dropped();
         let ok = self.queue.push(packet);
+        if !ok && !self.tenant_drops.is_empty() && self.queue.total_dropped() > before {
+            let n = self.tenant_drops.len();
+            self.tenant_drops[tenant % n] += 1;
+        }
         if ok && was_empty {
             // The empty-poll run ends the instant a packet lands in
             // the ring. (A rejected descriptor never reaches the ring,
@@ -211,6 +241,11 @@ impl DpService {
             self.recorder.record(&p);
             if p.dest_queue != 0 {
                 self.tagged.record(&p);
+            }
+            if !self.tenant_recorders.is_empty() {
+                let i = p.tenant.index() % self.tenant_recorders.len();
+                self.tenant_recorders[i].record(&p);
+                self.tenant_processed[i] += 1;
             }
             self.processed += 1;
         }
@@ -312,14 +347,55 @@ impl DpService {
         std::mem::take(&mut self.recorder)
     }
 
+    /// Per-tenant latency recorders (empty when single-tenant).
+    pub fn tenant_recorders(&self) -> &[LatencyRecorder] {
+        &self.tenant_recorders
+    }
+
+    /// Takes the per-tenant recorders, leaving empty ones behind (the
+    /// per-tenant sibling of [`DpService::take_recorder`]). Counters
+    /// stay cumulative.
+    pub fn take_tenant_recorders(&mut self) -> Vec<LatencyRecorder> {
+        let n = self.tenant_recorders.len();
+        std::mem::replace(
+            &mut self.tenant_recorders,
+            (0..n).map(|_| LatencyRecorder::new()).collect(),
+        )
+    }
+
+    /// Per-tenant `(processed, ring drops)` counters (empty when
+    /// single-tenant).
+    pub fn tenant_counts(&self) -> Vec<(u64, u64)> {
+        self.tenant_processed
+            .iter()
+            .zip(&self.tenant_drops)
+            .map(|(&p, &d)| (p, d))
+            .collect()
+    }
+
     /// Total packets processed.
     pub fn processed(&self) -> u64 {
         self.processed
     }
 
-    /// Packets dropped at the ring.
+    /// Packets dropped at the ring on overflow (genuine load
+    /// shedding). Fault-injected descriptor rejects are *not* included
+    /// — they are the injector's doing, already counted in its
+    /// `enic_rejects` stat, and folding them in here double-charged
+    /// the service (see [`DpService::rejected`]).
     pub fn dropped(&self) -> u64 {
         self.queue.total_dropped()
+    }
+
+    /// Packets rejected at the ring by injected backpressure faults.
+    pub fn rejected(&self) -> u64 {
+        self.queue.total_rejected()
+    }
+
+    /// Every packet this service's ring refused (overflow + fault
+    /// rejects) — the conservation-audit view.
+    pub fn lost(&self) -> u64 {
+        self.queue.total_lost()
     }
 
     /// Busy fraction of the service since creation.
@@ -512,6 +588,113 @@ mod tests {
         s.restart_polling(resume);
         let t = s.idle_notify_time(100).unwrap();
         assert_eq!(t.as_nanos(), 500_000 + 101 * 120);
+    }
+
+    #[test]
+    fn sample_mid_burst_carries_busy_into_next_window() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(9);
+        let t = SimTime::ZERO;
+        for i in 0..5 {
+            s.enqueue(delivered(i, 0), t);
+        }
+        // Burst busy-time [0, 5 µs] is folded eagerly at t=0.
+        s.process_burst(t, &mut rng);
+        // A utilization sample lands mid-burst: the window must read
+        // saturated (not >1.0), and the overhang must spill into the
+        // next window instead of vanishing.
+        let u1 = s.sample_utilization(SimTime::from_micros(2));
+        assert!((u1 - 1.0).abs() < 1e-9, "mid-burst window: {u1}");
+        let u2 = s.sample_utilization(SimTime::from_micros(10));
+        assert!((u2 - 3.0 / 8.0).abs() < 1e-9, "spill window: {u2}");
+        let u3 = s.sample_utilization(SimTime::from_micros(20));
+        assert!(u3.abs() < 1e-9, "post-burst window must be idle: {u3}");
+    }
+
+    #[test]
+    fn pause_restart_straddling_sample_stays_bounded() {
+        let mut s = mk_service();
+        let mut rng = Rng::new(10);
+        let t = SimTime::ZERO;
+        for i in 0..5 {
+            s.enqueue(delivered(i, 0), t);
+        }
+        // Burst keeps the core busy over [0, 5 µs]. A vCPU takes the
+        // core at 6 µs; the sample boundary at 7 µs falls inside the
+        // grant window; polling resumes at 9 µs.
+        s.process_burst(t, &mut rng);
+        s.pause_polling(SimTime::from_micros(6));
+        let u1 = s.sample_utilization(SimTime::from_micros(7));
+        assert!(
+            (0.0..=1.0).contains(&u1),
+            "straddled window out of range: {u1}"
+        );
+        assert!((u1 - 5.0 / 7.0).abs() < 1e-9, "straddled window: {u1}");
+        s.restart_polling(SimTime::from_micros(9));
+        s.enqueue(delivered(9, 10), SimTime::from_micros(10));
+        s.process_burst(SimTime::from_micros(10), &mut rng); // busy [10, 11 µs]
+        let u2 = s.sample_utilization(SimTime::from_micros(12));
+        assert!(
+            (u2 - 1.0 / 5.0).abs() < 1e-9,
+            "post-grant window must count only real processing: {u2}"
+        );
+    }
+
+    #[test]
+    fn fast_forwarded_empty_polls_are_not_busy_time() {
+        let mut s = mk_service();
+        // 0 → 12 µs of analytically fast-forwarded empty polling.
+        assert_eq!(s.fast_forwarded_polls(SimTime::from_micros(12)), 100);
+        let u = s.sample_utilization(SimTime::from_micros(12));
+        assert!(
+            u.abs() < 1e-9,
+            "fast-forwarded empty-poll window must sample idle: {u}"
+        );
+        assert!(s.utilization(SimTime::from_micros(12)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_rejects_do_not_count_as_service_drops() {
+        use taichi_sim::{FaultInjector, FaultPlan};
+        let mut s = mk_service();
+        let f = FaultInjector::from_plan(
+            &FaultPlan {
+                enic_reject_rate: 1.0,
+                ..FaultPlan::default()
+            },
+            7,
+        )
+        .expect("active plan");
+        s.set_fault(f);
+        let t = SimTime::from_micros(1);
+        assert!(!s.enqueue(delivered(1, 1), t));
+        assert_eq!(s.dropped(), 0, "a fault reject is not load shedding");
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.lost(), 1);
+    }
+
+    #[test]
+    fn tenant_accounting_splits_by_packet_tag() {
+        use taichi_hw::TenantId;
+        let mut s = mk_service();
+        s.set_tenants(2);
+        let mut rng = Rng::new(11);
+        let t = SimTime::from_micros(5);
+        for i in 0..6u64 {
+            let p = delivered(i, 5).with_tenant(TenantId((i % 2) as u32));
+            assert!(s.enqueue(p, t));
+        }
+        s.process_burst(t, &mut rng);
+        let counts = s.tenant_counts();
+        assert_eq!(counts[0].0, 3);
+        assert_eq!(counts[1].0, 3);
+        assert_eq!(s.tenant_recorders()[0].packets(), 3);
+        assert_eq!(s.tenant_recorders()[1].packets(), 3);
+        // The merged recorder still sees everything.
+        assert_eq!(s.recorder().packets(), 6);
+        let drained = s.take_tenant_recorders();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(s.tenant_recorders()[0].packets(), 0);
     }
 
     #[test]

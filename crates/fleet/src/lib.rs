@@ -35,10 +35,10 @@ use std::sync::mpsc;
 
 use taichi_core::audit::check_invariants;
 use taichi_core::machine::{Machine, Mode};
-use taichi_core::MachineConfig;
+use taichi_core::{MachineConfig, TenantConfig};
 use taichi_cp::{TaskFactory, VmCreateRequest};
 use taichi_dp::{ArrivalPattern, LatencyRecorder, TrafficGen};
-use taichi_hw::{CpuId, IoKind};
+use taichi_hw::{CpuId, IoKind, TenantId};
 use taichi_sim::report::Table;
 use taichi_sim::{Dist, Histogram, OnlineStats, Rng, SimDuration, SimTime};
 
@@ -94,6 +94,11 @@ pub struct FleetConfig {
     /// Run the invariant checker on every machine at every epoch
     /// boundary.
     pub check_invariants: bool,
+    /// Multi-tenant data-path configuration applied to every machine.
+    /// The default (one tenant) keeps the fleet on the pre-tenant code
+    /// path byte for byte: no extra generators, no extra RNG draws, no
+    /// tenant columns in any export.
+    pub tenants: TenantConfig,
 }
 
 impl Default for FleetConfig {
@@ -118,6 +123,7 @@ impl Default for FleetConfig {
             storm_vms_per_machine: 2,
             vm_density: 2,
             check_invariants: true,
+            tenants: TenantConfig::default(),
         }
     }
 }
@@ -251,6 +257,9 @@ struct InjectedArrival {
     at: SimTime,
     size: u32,
     dest_cpu: u32,
+    /// Owning tenant (always 0 in a single-tenant fleet — no RNG draw
+    /// happens for it, preserving the pre-tenant plan streams).
+    tenant: u32,
 }
 
 /// Everything a machine must apply at an epoch boundary.
@@ -308,6 +317,13 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
             }
             let dst = (src + 1 + rng.next_below(n as u64 - 1) as usize) % n;
             let packets = 1 + rng.next_below(cfg.ew_packets_per_flow.max(1) as u64);
+            // The whole flow belongs to one tenant; the draw is gated
+            // so single-tenant plan streams stay byte-identical.
+            let tenant = if cfg.tenants.is_multi() {
+                rng.next_below(cfg.tenants.count as u64) as u32
+            } else {
+                0
+            };
             // Flow arrivals spread uniformly over the delivery epoch,
             // each delayed by the network-latency draw.
             for _ in 0..packets {
@@ -318,6 +334,7 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
                     at: start + SimDuration::from_nanos(offset) + latency,
                     size: cfg.ew_size_bytes,
                     dest_cpu: rng.next_below(8) as u32,
+                    tenant,
                 });
             }
         }
@@ -352,6 +369,8 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
 /// the epoch-parallel driver can ship it back over a channel.
 struct EpochDelta {
     recorder: LatencyRecorder,
+    /// Per-tenant latency deltas (empty in a single-tenant fleet).
+    tenant_recorders: Vec<LatencyRecorder>,
     processed: u64,
     dropped: u64,
     events: u64,
@@ -377,22 +396,32 @@ impl MachineSlot {
     fn new(cfg: &FleetConfig, index: usize) -> Self {
         let mcfg = MachineConfig {
             seed: cfg.machine_seed(index),
+            tenants: cfg.tenants.clone(),
             ..MachineConfig::default()
         };
         let mut machine = Machine::new(mcfg, cfg.mode);
         // Baseline local (intra-NIC) load; east-west traffic rides on
-        // top of this via `inject_rx`.
+        // top of this via `inject_rx`. In a multi-tenant fleet each
+        // tenant originates its own share of the same aggregate load
+        // (one generator — and one RNG stream — per tenant); with one
+        // tenant the single pre-tenant generator is reproduced exactly.
         let dp = machine.services().len() as u32;
-        machine.add_traffic(TrafficGen::new(
-            ArrivalPattern::OnOff {
-                on_us: Dist::constant(200.0),
-                off_us: Dist::exponential(400.0),
-                burst_gap_us: Dist::exponential(2.5 / dp as f64),
-            },
-            Dist::constant(512.0),
-            IoKind::Network,
-            (0..dp).map(CpuId).collect(),
-        ));
+        let tenants = cfg.tenants.count.max(1);
+        for t in 0..tenants {
+            machine.add_traffic(
+                TrafficGen::new(
+                    ArrivalPattern::OnOff {
+                        on_us: Dist::constant(200.0),
+                        off_us: Dist::exponential(400.0),
+                        burst_gap_us: Dist::exponential(2.5 * tenants as f64 / dp as f64),
+                    },
+                    Dist::constant(512.0),
+                    IoKind::Network,
+                    (0..dp).map(CpuId).collect(),
+                )
+                .with_tenant(TenantId(t)),
+            );
+        }
         MachineSlot {
             index,
             machine,
@@ -409,11 +438,12 @@ impl MachineSlot {
         let now = self.machine.now();
         let dp = self.machine.services().len() as u64;
         for f in &plan.flows {
-            self.machine.inject_rx(
+            self.machine.inject_rx_for_tenant(
                 f.at,
                 IoKind::Network,
                 f.size,
                 CpuId(f.dest_cpu % dp.max(1) as u32),
+                TenantId(f.tenant),
             );
         }
         for _ in 0..plan.vm_creates {
@@ -427,6 +457,7 @@ impl MachineSlot {
         self.machine.run_until(end);
 
         let recorder = self.machine.drain_dp_recorders();
+        let tenant_recorders = self.machine.drain_tenant_recorders();
         let (mut processed, mut dropped) = (0u64, 0u64);
         for s in self.machine.services() {
             processed += s.processed();
@@ -450,6 +481,7 @@ impl MachineSlot {
         };
         let delta = EpochDelta {
             recorder,
+            tenant_recorders,
             processed: processed - self.last_processed,
             dropped: dropped - self.last_dropped,
             events: events - self.last_events,
@@ -495,6 +527,10 @@ pub struct EpochRow {
 /// pushed on the main thread in epoch order (the [`OnlineStats`]).
 struct RackAccum {
     rack: LatencyRecorder,
+    /// Per-tenant rack aggregates (empty in a single-tenant fleet).
+    /// Integer-exact merges, so fold order is irrelevant — same
+    /// worker-count-invariance argument as the merged recorder.
+    tenant_rack: Vec<LatencyRecorder>,
     util_hist: Histogram,
     rows: Vec<EpochRow>,
     pre_storm: OnlineStats,
@@ -514,6 +550,7 @@ impl RackAccum {
     fn new() -> Self {
         RackAccum {
             rack: LatencyRecorder::new(),
+            tenant_rack: Vec::new(),
             util_hist: Histogram::new(),
             rows: Vec::new(),
             pre_storm: OnlineStats::new(),
@@ -534,6 +571,13 @@ impl RackAccum {
     /// scratch.
     fn fold(&mut self, d: EpochDelta) {
         self.epoch_rec.merge(&d.recorder);
+        if self.tenant_rack.len() < d.tenant_recorders.len() {
+            self.tenant_rack
+                .resize_with(d.tenant_recorders.len(), LatencyRecorder::new);
+        }
+        for (agg, rec) in self.tenant_rack.iter_mut().zip(&d.tenant_recorders) {
+            agg.merge(rec);
+        }
         self.epoch_processed += d.processed;
         self.epoch_dropped += d.dropped;
         self.epoch_events += d.events;
@@ -599,6 +643,9 @@ pub struct FleetResult {
     pub epochs: Vec<EpochRow>,
     /// Rack-wide latency aggregate (every completion of the run).
     pub rack: LatencyRecorder,
+    /// Per-tenant rack-wide latency aggregates (empty unless the fleet
+    /// ran multi-tenant machines).
+    pub tenant_rack: Vec<LatencyRecorder>,
     /// Distribution of per-machine-per-epoch utilization (permille).
     pub util_permille: Histogram,
     /// Per-epoch rack throughput stats before the storm epoch.
@@ -663,7 +710,34 @@ impl FleetResult {
         for r in &self.epochs {
             fp.push(r.packets ^ (r.events << 1) ^ (r.p99_ns << 2));
         }
+        // Tenant entries exist only for multi-tenant fleets, so the
+        // single-tenant fingerprint is unchanged from the pre-tenant
+        // contract.
+        for rec in &self.tenant_rack {
+            fp.push(rec.packets());
+            fp.push(rec.total_latency().percentile(99.0));
+        }
         fp
+    }
+
+    /// Per-tenant rack summary (one row per tenant; empty table rows
+    /// for a single-tenant fleet).
+    pub fn tenant_table(&self) -> Table {
+        let mut t = Table::new(
+            "fleet rack per-tenant aggregates",
+            &["tenant", "packets", "p50 (ns)", "p99 (ns)", "p999 (ns)"],
+        );
+        for (i, rec) in self.tenant_rack.iter().enumerate() {
+            let lat = rec.total_latency();
+            t.row(&[
+                i.to_string(),
+                rec.packets().to_string(),
+                lat.percentile(50.0).to_string(),
+                lat.percentile(99.0).to_string(),
+                lat.percentile(99.9).to_string(),
+            ]);
+        }
+        t
     }
 
     /// Per-epoch rack table (one row per epoch) — the rack CSV.
@@ -761,6 +835,7 @@ fn finish(cfg: &FleetConfig, acc: RackAccum) -> FleetResult {
         storm_epoch: cfg.storm_epoch,
         epochs: acc.rows,
         rack: acc.rack,
+        tenant_rack: acc.tenant_rack,
         util_permille: acc.util_hist,
         pre_storm: acc.pre_storm,
         post_storm: acc.post_storm,
@@ -911,6 +986,38 @@ mod tests {
         // CSV renders.
         assert!(r.epoch_table().to_csv().lines().count() > 3);
         assert!(r.summary_table().to_csv().lines().count() == 2);
+    }
+
+    #[test]
+    fn multi_tenant_fleet_aggregates_per_tenant_and_stays_conserved() {
+        let cfg = FleetConfig {
+            tenants: TenantConfig {
+                count: 2,
+                weights: vec![3, 1],
+                ..TenantConfig::default()
+            },
+            storm_epoch: None,
+            ..tiny()
+        };
+        let r = run(&cfg, FleetDriver::Sequential);
+        assert_eq!(r.violation_count, 0, "{:?}", r.violations);
+        assert_eq!(r.tenant_rack.len(), 2);
+        let per_tenant: u64 = r.tenant_rack.iter().map(|t| t.packets()).sum();
+        assert_eq!(
+            per_tenant,
+            r.rack.packets(),
+            "tenant recorders must partition the rack aggregate"
+        );
+        assert!(per_tenant > 0, "both tenants must complete packets");
+        // Worker-count invariance holds for tenant aggregates too.
+        let p = run(&cfg, FleetDriver::EpochParallel { workers: 3 });
+        assert_eq!(p.fingerprint(), r.fingerprint());
+        // The tenant table renders one row per tenant.
+        assert_eq!(r.tenant_table().to_csv().lines().count(), 3);
+        // Single-tenant fleets export no tenant entries at all.
+        let single = run(&tiny(), FleetDriver::Sequential);
+        assert!(single.tenant_rack.is_empty());
+        assert_eq!(single.tenant_table().to_csv().lines().count(), 1);
     }
 
     #[test]

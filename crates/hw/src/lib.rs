@@ -25,6 +25,6 @@ pub mod queue;
 pub use accel::{Accelerator, AcceleratorConfig, PipelineOutput};
 pub use apic::{ApicFabric, IpiMessage, IrqVector};
 pub use cpu::{CpuId, CpuRole, SmartNicSpec};
-pub use packet::{IoKind, Packet, PacketId};
+pub use packet::{IoKind, Packet, PacketId, TenantId};
 pub use probe::{CpuExecState, HwWorkloadProbe};
 pub use queue::RxQueue;

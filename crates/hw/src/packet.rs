@@ -15,6 +15,27 @@ use taichi_sim::{SimDuration, SimTime};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId(pub u64);
 
+/// Which tenant a data-plane work item belongs to.
+///
+/// The single-operator configuration of the paper is tenant 0; the
+/// multi-tenant extension (DESIGN.md §3.11) tags every packet so the
+/// eNIC can keep per-tenant rx rings and the accelerator can arbitrate
+/// ingest bandwidth with deficit round robin. Tagging is free: the id
+/// is stamped by the traffic generator, never drawn from an RNG.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit tenant of every pre-multi-tenant workload.
+    pub const HOST: TenantId = TenantId(0);
+
+    /// Index into per-tenant tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Which data-plane subsystem a work item belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum IoKind {
@@ -37,6 +58,8 @@ pub struct Packet {
     pub dest_cpu: CpuId,
     /// Destination rx queue index on that CPU's service.
     pub dest_queue: u32,
+    /// Owning tenant (0 = the implicit single-operator tenant).
+    pub tenant: TenantId,
     /// When the host driver submitted the request (stage ①).
     pub submitted_at: SimTime,
     /// When accelerator preprocessing finished (stage ②).
@@ -63,11 +86,18 @@ impl Packet {
             size_bytes,
             dest_cpu,
             dest_queue,
+            tenant: TenantId::HOST,
             submitted_at,
             preprocessed_at: None,
             delivered_at: None,
             completed_at: None,
         }
+    }
+
+    /// Tags the packet with its owning tenant (builder style).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// End-to-end latency (submission → completion), if completed.
@@ -135,5 +165,13 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         assert_ne!(IoKind::Network, IoKind::Storage);
+    }
+
+    #[test]
+    fn tenant_defaults_to_host_and_tags_via_builder() {
+        let p = pkt();
+        assert_eq!(p.tenant, TenantId::HOST);
+        let p = p.with_tenant(TenantId(3));
+        assert_eq!(p.tenant.index(), 3);
     }
 }

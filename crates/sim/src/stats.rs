@@ -140,6 +140,14 @@ pub struct UtilizationMeter {
     window_start: SimTime,
     total_busy: SimDuration,
     created: SimTime,
+    /// Furthest point in simulated time that busy spans have been
+    /// folded to. Poll-mode services account whole bursts eagerly, so
+    /// spans routinely end *after* the clock that later queries the
+    /// meter — the frontier lets samples credit that overhang to the
+    /// windows it actually occupies instead of the window that folded
+    /// it (which read >1.0 before the clamp, and starved its
+    /// successor).
+    frontier: SimTime,
 }
 
 impl UtilizationMeter {
@@ -151,6 +159,7 @@ impl UtilizationMeter {
             window_start: now,
             total_busy: SimDuration::ZERO,
             created: now,
+            frontier: now,
         }
     }
 
@@ -161,12 +170,14 @@ impl UtilizationMeter {
         }
     }
 
-    /// Marks the resource idle at `now` (idempotent).
+    /// Marks the resource idle at `now` (idempotent). `now` may lie in
+    /// the future relative to the querying clock — see `frontier`.
     pub fn set_idle(&mut self, now: SimTime) {
         if let Some(since) = self.busy_since.take() {
             let d = now.saturating_since(since);
             self.busy_accum += d;
             self.total_busy += d;
+            self.frontier = self.frontier.max(now);
         }
     }
 
@@ -177,6 +188,11 @@ impl UtilizationMeter {
 
     /// Returns the utilization of the window since the last sample and
     /// starts a new window.
+    ///
+    /// Busy time folded beyond `now` (a poll burst that ends after the
+    /// sample boundary) is *carried* into the next window rather than
+    /// credited to this one, so a window can neither exceed 1.0 from
+    /// borrowed future work nor leave its successor short.
     pub fn sample_and_reset(&mut self, now: SimTime) -> f64 {
         // Close out any in-progress busy span into this window, then
         // re-open it for the next window.
@@ -185,25 +201,32 @@ impl UtilizationMeter {
             self.set_idle(now);
         }
         let elapsed = now.saturating_since(self.window_start);
+        let carry = SimDuration::from_nanos(
+            self.frontier
+                .saturating_since(now)
+                .as_nanos()
+                .min(self.busy_accum.as_nanos()),
+        );
+        let window_busy = self.busy_accum.as_nanos() - carry.as_nanos();
         let util = if elapsed.is_zero() {
             0.0
         } else {
-            self.busy_accum.as_nanos() as f64 / elapsed.as_nanos() as f64
+            window_busy as f64 / elapsed.as_nanos() as f64
         };
-        self.busy_accum = SimDuration::ZERO;
+        self.busy_accum = carry;
         self.window_start = now;
         if reopen {
-            self.busy_since = Some(now);
+            // Re-open past the fold frontier so the carried busy time
+            // is never double-counted by the re-opened span.
+            self.busy_since = Some(now.max(self.frontier));
         }
         util.min(1.0)
     }
 
-    /// Lifetime utilization since creation.
+    /// Lifetime utilization since creation. Busy time folded beyond
+    /// `now` is clipped, so the ratio is exact rather than clamped.
     pub fn lifetime_utilization(&self, now: SimTime) -> f64 {
-        let mut busy = self.total_busy;
-        if let Some(since) = self.busy_since {
-            busy += now.saturating_since(since);
-        }
+        let busy = self.total_busy(now);
         let elapsed = now.saturating_since(self.created);
         if elapsed.is_zero() {
             0.0
@@ -212,13 +235,15 @@ impl UtilizationMeter {
         }
     }
 
-    /// Total accumulated busy time, including any open span.
+    /// Total accumulated busy time up to `now`, including any open span
+    /// and excluding busy time folded beyond `now`.
     pub fn total_busy(&self, now: SimTime) -> SimDuration {
-        let mut busy = self.total_busy;
+        let mut busy = self.total_busy.as_nanos();
         if let Some(since) = self.busy_since {
-            busy += now.saturating_since(since);
+            busy += now.saturating_since(since).as_nanos();
         }
-        busy
+        busy = busy.saturating_sub(self.frontier.saturating_since(now).as_nanos());
+        SimDuration::from_nanos(busy)
     }
 }
 
@@ -307,6 +332,48 @@ mod tests {
         m.set_idle(SimTime::from_micros(40)); // ignored
         let u = m.sample_and_reset(SimTime::from_micros(100));
         assert!((u - 0.2).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn future_folded_span_is_carried_not_credited() {
+        let mut m = UtilizationMeter::new(SimTime::ZERO);
+        // A poll burst accounted eagerly: busy 80..120 folded at t=80,
+        // i.e. before the t=100 sample boundary it straddles.
+        m.set_busy(SimTime::from_micros(80));
+        m.set_idle(SimTime::from_micros(120));
+        let u1 = m.sample_and_reset(SimTime::from_micros(100));
+        assert!((u1 - 0.2).abs() < 1e-9, "window 1 overcredited: {u1}");
+        let u2 = m.sample_and_reset(SimTime::from_micros(200));
+        assert!((u2 - 0.2).abs() < 1e-9, "window 2 starved: {u2}");
+    }
+
+    #[test]
+    fn future_fold_never_exceeds_full_window() {
+        let mut m = UtilizationMeter::new(SimTime::ZERO);
+        // Bursts worth 150 µs of work folded inside a 100 µs window.
+        m.set_busy(SimTime::ZERO);
+        m.set_idle(SimTime::from_micros(150));
+        let u1 = m.sample_and_reset(SimTime::from_micros(100));
+        assert!((u1 - 1.0).abs() < 1e-9, "window 1 must saturate: {u1}");
+        let u2 = m.sample_and_reset(SimTime::from_micros(200));
+        assert!((u2 - 0.5).abs() < 1e-9, "window 2 gets the spill: {u2}");
+        assert_eq!(
+            m.total_busy(SimTime::from_micros(200)),
+            SimDuration::from_micros(150)
+        );
+    }
+
+    #[test]
+    fn total_busy_clips_future_fold() {
+        let mut m = UtilizationMeter::new(SimTime::ZERO);
+        m.set_busy(SimTime::ZERO);
+        m.set_idle(SimTime::from_micros(150));
+        assert_eq!(
+            m.total_busy(SimTime::from_micros(100)),
+            SimDuration::from_micros(100)
+        );
+        let u = m.lifetime_utilization(SimTime::from_micros(100));
+        assert!((u - 1.0).abs() < 1e-9, "lifetime clipped at now: {u}");
     }
 
     #[test]
