@@ -13,17 +13,24 @@
 //! `TAICHI_QUEUE` backends (see the `fleet_identity` test).
 //!
 //! Knobs: `--machines N`, `--epochs N`, `--churn F`, `--storm E|off`,
-//! `--sequential`; the `TAICHI_FLEET_*` environment variables cover
-//! the same settings (flags win).
+//! `--sequential`, `--quick` (the CI smoke size: 64 machines x 8
+//! epochs); the `TAICHI_FLEET_*` environment variables cover the same
+//! settings (flags win).
+//!
+//! The emitted summary CSV carries memory diagnostics on top of the
+//! identity-compared summary columns: slab/ring high-water marks,
+//! resident bytes per machine, and the process peak RSS. Only the
+//! per-epoch `ext_fleet.csv` is byte-compared across drivers/workers
+//! in CI — RSS varies run to run by design.
 
-use taichi_bench::{emit, seed};
+use taichi_bench::{emit, peak_rss_kb, seed};
 use taichi_fleet::{run, FleetConfig, FleetDriver};
 use taichi_sim::par::default_workers;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ext_fleet [--machines N] [--epochs N] [--churn F] \
-         [--storm E|off] [--sequential]"
+         [--storm E|off] [--sequential] [--quick]"
     );
     std::process::exit(2);
 }
@@ -65,6 +72,14 @@ fn main() {
                 Err(e) => die(&e),
             },
             "--sequential" => driver = FleetDriver::Sequential,
+            // CI smoke size: small enough for a PR gate, large enough
+            // to exercise churn, the storm, and post-storm compaction.
+            "--quick" => {
+                cfg.machines = 64;
+                cfg.epochs = 8;
+                cfg.churn_per_epoch = 2.0;
+                cfg.storm_epoch = Some(4);
+            }
             _ => usage(),
         }
     }
@@ -78,10 +93,31 @@ fn main() {
         cfg.churn_per_epoch,
         cfg.storm_epoch,
     );
+    let start = std::time::Instant::now();
     let result = run(&cfg, driver);
+    let wall = start.elapsed();
 
     emit("ext_fleet", &result.epoch_table());
-    emit("ext_fleet_summary", &result.summary_table());
+    let rss_kb = peak_rss_kb();
+    emit("ext_fleet_summary", &result.summary_table_with_mem(rss_kb));
+
+    let machine_epochs = (cfg.machines * cfg.epochs) as f64;
+    println!(
+        "wall {:.2} s, {:.0} machine-epochs/s; resident {} B/machine \
+         (slab hwm {} slots, ring hwm {} pkts{})",
+        wall.as_secs_f64(),
+        machine_epochs / wall.as_secs_f64().max(1e-9),
+        result.resident_bytes / cfg.machines.max(1) as u64,
+        result.slab_high_watermark,
+        result.ring_high_watermark,
+        rss_kb
+            .map(|kb| format!(
+                ", peak rss {} kB = {} kB/machine",
+                kb,
+                kb / cfg.machines.max(1) as u64
+            ))
+            .unwrap_or_default(),
+    );
 
     if let (Some(s), Some(rec)) = (result.storm_epoch, result.recovery_epochs) {
         println!(

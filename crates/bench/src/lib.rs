@@ -146,6 +146,16 @@ pub fn emit_trace(name: &str, machine: &taichi_core::machine::Machine) {
     }
 }
 
+/// Peak resident set size of this process in kB, read from
+/// `/proc/self/status` (`VmHWM`). Linux-only; answers `None` elsewhere
+/// or if the field is missing, so callers must treat it as a
+/// best-effort diagnostic, never an identity-compared value.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Minimal micro-benchmark loop (the workspace builds without network
 /// access, so Criterion is not available): runs `f` for a warmup, then
 /// measures batches until ~0.2 s elapses and prints ns/iter.

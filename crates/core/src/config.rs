@@ -5,7 +5,7 @@ use taichi_hw::accel::AcceleratorConfig;
 use taichi_hw::SmartNicSpec;
 use taichi_os::KernelConfig;
 use taichi_sim::trace::TraceConfig;
-use taichi_sim::{FaultPlan, SimDuration};
+use taichi_sim::{FaultPlan, FootprintProfile, SimDuration};
 use taichi_virt::{Type2Model, VirtCosts};
 
 /// Idle-time skipping for the machine driver (the `TAICHI_SKIP`
@@ -249,6 +249,14 @@ pub struct MachineConfig {
     /// (on unless `TAICHI_SKIP=off`); `Some` wins over the
     /// environment, exactly like the queue-backend selection.
     pub skip: Option<SkipMode>,
+    /// Memory-footprint profile: `Hot` (the default) makes every
+    /// worst-case reservation at construction so the steady-state loop
+    /// never allocates; `Fleet` starts the event slab, skip heap, and
+    /// rx rings small and grows them to the machine's actual working
+    /// set — what a driver standing up thousands of mostly-idle
+    /// machines wants. Byte-identical observables either way (the
+    /// fleet identity matrix pins this).
+    pub footprint: FootprintProfile,
 }
 
 impl Default for MachineConfig {
@@ -267,6 +275,7 @@ impl Default for MachineConfig {
             faults: FaultPlan::default(),
             policy: None,
             skip: None,
+            footprint: FootprintProfile::default(),
         }
     }
 }

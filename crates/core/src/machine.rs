@@ -42,7 +42,8 @@ use taichi_hw::{
 use taichi_os::{ActionBuf, CpuSet, Kernel, KernelAction, Program, Segment, SoftirqKind, ThreadId};
 use taichi_sim::trace::FailureDump;
 use taichi_sim::{
-    EventQueue, EventToken, FaultInjector, IpiFate, Rng, SimDuration, SimTime, TraceKind, Tracer,
+    EventQueue, EventToken, FaultInjector, IpiFate, QueueBackend, Rng, SimDuration, SimTime,
+    TraceKind, Tracer,
 };
 use taichi_virt::{VcpuState, VmExitReason};
 
@@ -407,6 +408,11 @@ impl Machine {
             // §9: cache/TLB partitioning removes grant pollution.
             dp_cfg.pollution_tax = 1.0;
         }
+        // Fleet footprint: defer the rx rings' backing reservation (the
+        // single largest per-machine block — 8 services x 1024
+        // descriptors). The capacity bound is unchanged, so drops are
+        // identical.
+        dp_cfg.eager_ring = cfg.footprint.eager_rings();
         let dp_cfg = Arc::new(dp_cfg);
         let mut services: Vec<DpService> = dp_cpu_ids
             .iter()
@@ -474,10 +480,11 @@ impl Machine {
         // zero tenant state and stays byte-identical to the pre-tenant
         // engine.
         if cfg.tenants.is_multi() {
-            accel.enable_tenants(
+            accel.enable_tenants_with_eagerness(
                 &cfg.tenants.effective_weights(),
                 cfg.tenants.quantum,
                 cfg.tenants.ring_capacity,
+                cfg.footprint.eager_rings(),
             );
             for s in &mut services {
                 s.set_tenants(cfg.tenants.count as usize);
@@ -512,10 +519,11 @@ impl Machine {
             dp_idle_tok: vec![None; dp_count as usize],
             vcpu_slice_tok: vec![None; n_v],
             kernel_tok: Vec::new(),
-            // Sized for the worst observed steady state (pending
-            // not-yet-matured cancels across every timer class) so the
-            // hot loop stays allocation-free.
-            skipped_deadlines: BinaryHeap::with_capacity(1024),
+            // Hot profile: sized for the worst observed steady state
+            // (pending not-yet-matured cancels across every timer
+            // class) so the hot loop stays allocation-free. Fleet
+            // profile: starts small and grows to the working set.
+            skipped_deadlines: BinaryHeap::with_capacity(cfg.footprint.skipped_deadline_capacity()),
             dp_idle_gen: vec![0; dp_count as usize],
             dp_busy: vec![false; dp_count as usize],
             dp_inflight: vec![0; dp_count as usize],
@@ -544,7 +552,19 @@ impl Machine {
             health: FaultHealth::default(),
             probe_starve: vec![0; num_cpus as usize],
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: {
+                let mut q = EventQueue::with_backend_and_slots(
+                    QueueBackend::from_env(),
+                    cfg.footprint.initial_event_slots(),
+                );
+                if cfg.footprint.eager_rings() {
+                    // Hot profile: materialize the wheel's bucket-head
+                    // chunks too, so the audited steady-state loop
+                    // never pays a mid-run chunk allocation.
+                    q.prewarm();
+                }
+                q
+            },
             rng,
             bootstrapped: false,
             cfg,
@@ -643,10 +663,64 @@ impl Machine {
     /// the same machine.
     pub fn drain_dp_recorders(&mut self) -> taichi_dp::LatencyRecorder {
         let mut merged = taichi_dp::LatencyRecorder::new();
-        for s in &mut self.services {
-            merged.merge(&s.take_recorder());
-        }
+        self.drain_dp_recorders_into(&mut merged);
         merged
+    }
+
+    /// [`Machine::drain_dp_recorders`] into a caller-owned recorder:
+    /// each service's records are merged into `dest` and cleared in
+    /// place, so a fleet driver draining every machine every epoch
+    /// reuses one scratch recorder instead of allocating per drain.
+    pub fn drain_dp_recorders_into(&mut self, dest: &mut taichi_dp::LatencyRecorder) {
+        for s in &mut self.services {
+            s.drain_recorder_into(dest);
+        }
+    }
+
+    /// Releases memory retained past each subsystem's current working
+    /// set: the event queue's storm-peak slab/overflow storage, the
+    /// skipped-deadline heap's spare capacity, every DP rx ring's
+    /// backing store, and the tenant staging rings. Bounded work,
+    /// observably inert — the simulated schedule, stats, and traces
+    /// are byte-identical with or without the call — so fleet drivers
+    /// invoke it after storm recovery to keep resident memory flat
+    /// across repeated storms.
+    pub fn compact(&mut self) {
+        self.queue.compact();
+        self.skipped_deadlines.shrink_to_fit();
+        for s in &mut self.services {
+            s.compact();
+        }
+        self.accel.compact_tenant_rings();
+    }
+
+    /// Memory high-water marks for fleet footprint accounting: the
+    /// event slab's peak slot count and the deepest rx-ring occupancy
+    /// across DP services and tenant staging rings. Both survive
+    /// [`Machine::compact`].
+    pub fn memory_high_watermarks(&self) -> (usize, usize) {
+        let ring = self
+            .services
+            .iter()
+            .map(|s| s.ring_high_watermark())
+            .max()
+            .unwrap_or(0)
+            .max(self.accel.staged_high_watermark());
+        (self.queue.slab_high_watermark(), ring)
+    }
+
+    /// Approximate resident bytes of the machine's variable-size
+    /// structures (event queue storage, rx-ring backing stores, tenant
+    /// staging rings). Fixed-size machine state is excluded; the
+    /// counting allocator gives the authoritative total.
+    pub fn resident_bytes(&self) -> usize {
+        self.queue.resident_bytes()
+            + self
+                .services
+                .iter()
+                .map(|s| s.ring_resident_bytes())
+                .sum::<usize>()
+            + self.accel.tenant_ring_resident_bytes()
     }
 
     /// Spawns one CP task now with the mode's default CP affinity.
@@ -1863,19 +1937,26 @@ impl Machine {
     /// per-tenant sibling of [`Machine::drain_dp_recorders`], with the
     /// same epoch-draining contract. Empty when single-tenant.
     pub fn drain_tenant_recorders(&mut self) -> Vec<taichi_dp::LatencyRecorder> {
-        let n = if self.accel.multi_tenant() {
-            self.accel.tenant_count()
-        } else {
-            return Vec::new();
-        };
-        let mut merged: Vec<taichi_dp::LatencyRecorder> =
-            (0..n).map(|_| taichi_dp::LatencyRecorder::new()).collect();
-        for s in &mut self.services {
-            for (t, rec) in s.take_tenant_recorders().into_iter().enumerate() {
-                merged[t].merge(&rec);
-            }
-        }
+        let mut merged = Vec::new();
+        self.drain_tenant_recorders_into(&mut merged);
         merged
+    }
+
+    /// [`Machine::drain_tenant_recorders`] into a caller-owned vector
+    /// (grown to the tenant count on first use, reused thereafter):
+    /// the allocation-free epoch drain. Leaves `dest` untouched when
+    /// single-tenant.
+    pub fn drain_tenant_recorders_into(&mut self, dest: &mut Vec<taichi_dp::LatencyRecorder>) {
+        if !self.accel.multi_tenant() {
+            return;
+        }
+        let n = self.accel.tenant_count();
+        if dest.len() < n {
+            dest.resize_with(n, taichi_dp::LatencyRecorder::new);
+        }
+        for s in &mut self.services {
+            s.drain_tenant_recorders_into(dest);
+        }
     }
 
     /// Per-tenant SLO ledger: `(issued, issued_bytes, ring_losses,

@@ -62,6 +62,29 @@ impl LatencyRecorder {
         };
     }
 
+    /// Clears every record while keeping the histograms' bucket
+    /// capacity. Observably identical to a fresh recorder — the basis
+    /// of the allocation-free epoch drain ([`LatencyRecorder::drain_into`]).
+    pub fn reset(&mut self) {
+        self.total.reset();
+        self.hardware.reset();
+        self.software.reset();
+        self.packets = 0;
+        self.bytes = 0;
+        self.first_completion = None;
+        self.last_completion = None;
+    }
+
+    /// Merges this recorder's records into `dest` and clears this one
+    /// in place. Equivalent to `dest.merge(&take(self))` but without
+    /// surrendering the histograms' bucket capacity, so an epoch drain
+    /// performed every epoch on every machine allocates nothing once
+    /// the buckets reach their working set.
+    pub fn drain_into(&mut self, dest: &mut LatencyRecorder) {
+        dest.merge(self);
+        self.reset();
+    }
+
     /// End-to-end latency histogram.
     pub fn total_latency(&self) -> &Histogram {
         &self.total

@@ -46,6 +46,11 @@ pub struct DpServiceConfig {
     pub pollution_window: SimDuration,
     /// Multiplicative processing surcharge inside the window.
     pub pollution_tax: f64,
+    /// Whether the rx ring reserves `ring_capacity` descriptors up
+    /// front (the hot-machine default) or lets the backing store grow
+    /// to the observed occupancy (fleet footprint profiles). The drop
+    /// bound is `ring_capacity` either way.
+    pub eager_ring: bool,
 }
 
 impl Default for DpServiceConfig {
@@ -60,6 +65,7 @@ impl Default for DpServiceConfig {
             ring_capacity: 1024,
             pollution_window: SimDuration::from_micros(8),
             pollution_tax: 1.18,
+            eager_ring: true,
         }
     }
 }
@@ -113,7 +119,7 @@ impl DpService {
     /// bulk-construction path: one `Arc` clone per service instead of
     /// a deep config clone).
     pub fn with_shared_config(cpu: CpuId, config: Arc<DpServiceConfig>) -> Self {
-        let ring = RxQueue::new(config.ring_capacity);
+        let ring = RxQueue::with_eagerness(config.ring_capacity, config.eager_ring);
         let proc_cost = config.proc_cost_ns.prepared();
         DpService {
             cpu,
@@ -347,6 +353,14 @@ impl DpService {
         std::mem::take(&mut self.recorder)
     }
 
+    /// Merges the accumulated latency records into `dest` and clears
+    /// them in place — the allocation-free sibling of
+    /// [`DpService::take_recorder`] for epoch-oriented drivers that
+    /// drain every machine every epoch. Counters stay cumulative.
+    pub fn drain_recorder_into(&mut self, dest: &mut LatencyRecorder) {
+        self.recorder.drain_into(dest);
+    }
+
     /// Per-tenant latency recorders (empty when single-tenant).
     pub fn tenant_recorders(&self) -> &[LatencyRecorder] {
         &self.tenant_recorders
@@ -361,6 +375,19 @@ impl DpService {
             &mut self.tenant_recorders,
             (0..n).map(|_| LatencyRecorder::new()).collect(),
         )
+    }
+
+    /// Merges each tenant's records into `dest[t]` (growing `dest` to
+    /// the tenant count if needed) and clears them in place — the
+    /// allocation-free sibling of
+    /// [`DpService::take_tenant_recorders`]. Counters stay cumulative.
+    pub fn drain_tenant_recorders_into(&mut self, dest: &mut Vec<LatencyRecorder>) {
+        if dest.len() < self.tenant_recorders.len() {
+            dest.resize_with(self.tenant_recorders.len(), LatencyRecorder::new);
+        }
+        for (rec, d) in self.tenant_recorders.iter_mut().zip(dest.iter_mut()) {
+            rec.drain_into(d);
+        }
     }
 
     /// Per-tenant `(processed, ring drops)` counters (empty when
@@ -396,6 +423,22 @@ impl DpService {
     /// rejects) — the conservation-audit view.
     pub fn lost(&self) -> u64 {
         self.queue.total_lost()
+    }
+
+    /// Deepest rx-ring occupancy ever observed.
+    pub fn ring_high_watermark(&self) -> usize {
+        self.queue.high_watermark()
+    }
+
+    /// Releases rx-ring backing storage beyond the current occupancy
+    /// (the capacity bound is untouched; observably inert).
+    pub fn compact(&mut self) {
+        self.queue.compact();
+    }
+
+    /// Resident bytes of the rx ring's backing storage.
+    pub fn ring_resident_bytes(&self) -> usize {
+        self.queue.resident_bytes()
     }
 
     /// Busy fraction of the service since creation.

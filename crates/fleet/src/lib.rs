@@ -20,7 +20,7 @@
 //! (commutative + associative, arrival order irrelevant) or folded on
 //! the main thread in fixed epoch order.
 //!
-//! # Streaming aggregation
+//! # Streaming aggregation and worker pooling
 //!
 //! Machines are *drained* at every epoch boundary
 //! ([`Machine::drain_dp_recorders`]) and the deltas folded immediately
@@ -30,6 +30,16 @@
 //! size. Per-epoch rack throughput feeds two [`OnlineStats`] (pre- and
 //! post-storm), pushed on the main thread in epoch order so the float
 //! accumulation is deterministic too.
+//!
+//! Each epoch-parallel worker owns a *pool* of machines and reports
+//! one batched [`WorkerDelta`] per epoch (not one message per
+//! machine); the main thread drains the delta into the rack fold and
+//! recycles its backing storage back to the worker inside the next
+//! epoch command. Plans are never shipped at all — they are a pure
+//! function of `(cfg, epoch, congested)`, so each worker recomputes
+//! its own shard locally. Steady-state fleet epochs therefore perform
+//! `O(machines)` work with channel traffic and allocations bounded by
+//! the worker count, not the machine or event count.
 
 use std::sync::mpsc;
 
@@ -40,7 +50,7 @@ use taichi_cp::{TaskFactory, VmCreateRequest};
 use taichi_dp::{ArrivalPattern, LatencyRecorder, TrafficGen};
 use taichi_hw::{CpuId, IoKind, TenantId};
 use taichi_sim::report::Table;
-use taichi_sim::{Dist, Histogram, OnlineStats, Rng, SimDuration, SimTime};
+use taichi_sim::{Dist, FootprintProfile, Histogram, OnlineStats, Rng, SimDuration, SimTime};
 
 /// Salt for the east-west flow-plan RNG streams.
 const EW_SALT: u64 = 0xEA57_F10C;
@@ -99,6 +109,13 @@ pub struct FleetConfig {
     /// path byte for byte: no extra generators, no extra RNG draws, no
     /// tenant columns in any export.
     pub tenants: TenantConfig,
+    /// Memory footprint profile applied to every machine. Fleets
+    /// default to [`FootprintProfile::Fleet`] (grow-on-demand backing
+    /// storage) because a rack holds thousands of mostly-idle
+    /// machines; every observable is byte-identical to
+    /// [`FootprintProfile::Hot`] — the `fleet_identity` matrix pins
+    /// that.
+    pub footprint: FootprintProfile,
 }
 
 impl Default for FleetConfig {
@@ -124,6 +141,7 @@ impl Default for FleetConfig {
             vm_density: 2,
             check_invariants: true,
             tenants: TenantConfig::default(),
+            footprint: FootprintProfile::Fleet,
         }
     }
 }
@@ -213,6 +231,7 @@ impl FleetConfig {
         if let Some(v) = env_parse_or_warn("TAICHI_FLEET_STORM", parse_storm) {
             self.storm_epoch = v;
         }
+        self.footprint = FootprintProfile::from_env_or(self.footprint);
     }
 
     /// Start of epoch `e`.
@@ -286,13 +305,36 @@ fn load_factor(cfg: &FleetConfig, epoch: usize, rng: &mut Rng) -> f64 {
     diurnal * burst
 }
 
-/// Builds every machine's plan for `epoch`. `congested` is rack-level
-/// feedback from the previous epoch (conservative: one epoch behind):
-/// when the rack dropped more than 5% of its packets, every source
-/// backs off to 3/4 volume.
-fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan> {
+/// Fills every machine's plan for `epoch` into `plans`, reusing the
+/// vector's (and each plan's) backing storage across epochs.
+/// `congested` is rack-level feedback from the previous epoch
+/// (conservative: one epoch behind): when the rack dropped more than
+/// 5% of its packets, every source backs off to 3/4 volume.
+///
+/// `shard = Some((w, workers))` keeps only the plans for machines
+/// owned by worker `w` (`index % workers == w`), leaving the rest
+/// empty. Every RNG draw still happens unconditionally — the streams
+/// are consumed identically whether or not a destination is kept — so
+/// the plan content for any machine is a pure function of
+/// `(cfg, epoch, congested)` and each worker can recompute its own
+/// shard locally instead of receiving it over a channel.
+fn fill_plans(
+    cfg: &FleetConfig,
+    epoch: usize,
+    congested: bool,
+    plans: &mut Vec<EpochPlan>,
+    shard: Option<(usize, usize)>,
+) {
     let n = cfg.machines;
-    let mut plans = vec![EpochPlan::default(); n];
+    plans.resize_with(n, EpochPlan::default);
+    for p in plans.iter_mut() {
+        p.flows.clear();
+        p.vm_creates = 0;
+    }
+    let owned = |i: usize| match shard {
+        Some((w, workers)) => i % workers == w,
+        None => true,
+    };
     let start = cfg.epoch_start(epoch);
     let epoch_ns = cfg.epoch_len.as_nanos();
 
@@ -325,17 +367,21 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
                 0
             };
             // Flow arrivals spread uniformly over the delivery epoch,
-            // each delayed by the network-latency draw.
+            // each delayed by the network-latency draw. The draws are
+            // unconditional; only the push is gated by ownership.
             for _ in 0..packets {
                 let offset = rng.next_below(epoch_ns.max(1));
                 let latency = cfg.net_base_latency
                     + SimDuration::from_nanos(rng.next_below(cfg.net_jitter.as_nanos().max(1)));
-                plans[dst].flows.push(InjectedArrival {
-                    at: start + SimDuration::from_nanos(offset) + latency,
-                    size: cfg.ew_size_bytes,
-                    dest_cpu: rng.next_below(8) as u32,
-                    tenant,
-                });
+                let dest_cpu = rng.next_below(8) as u32;
+                if owned(dst) {
+                    plans[dst].flows.push(InjectedArrival {
+                        at: start + SimDuration::from_nanos(offset) + latency,
+                        size: cfg.ew_size_bytes,
+                        dest_cpu,
+                        tenant,
+                    });
+                }
             }
         }
     }
@@ -348,16 +394,28 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
     }
     for _ in 0..creates {
         let m = churn_rng.next_below(n as u64) as usize;
-        plans[m].vm_creates += 1;
+        if owned(m) {
+            plans[m].vm_creates += 1;
+        }
     }
 
     // Rack-wide startup storm (Fig. 17 at density): every machine
     // receives a burst of VM creations at the same epoch.
     if cfg.storm_epoch == Some(epoch) {
-        for p in &mut plans {
-            p.vm_creates += cfg.storm_vms_per_machine;
+        for (i, p) in plans.iter_mut().enumerate() {
+            if owned(i) {
+                p.vm_creates += cfg.storm_vms_per_machine;
+            }
         }
     }
+}
+
+/// Builds every machine's plan for `epoch` into a fresh vector — the
+/// allocating convenience wrapper over [`fill_plans`].
+#[cfg(test)]
+fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan> {
+    let mut plans = Vec::new();
+    fill_plans(cfg, epoch, congested, &mut plans, None);
     plans
 }
 
@@ -365,19 +423,37 @@ fn make_plans(cfg: &FleetConfig, epoch: usize, congested: bool) -> Vec<EpochPlan
 // Per-machine epoch execution (shared by both drivers).
 // ---------------------------------------------------------------------
 
-/// Per-epoch delta drained from one machine. Plain data (`Send`), so
-/// the epoch-parallel driver can ship it back over a channel.
-struct EpochDelta {
+/// Per-epoch delta batched across every machine a worker owns. Plain
+/// data (`Send`): the epoch-parallel driver ships exactly one of these
+/// per worker per epoch (instead of one message per machine), and the
+/// main thread sends it *back* inside the next [`EpochCmd`] so its
+/// histogram buckets, tenant vector, and violation strings are reused
+/// for the whole run. Everything in it is either exact integer
+/// arithmetic or a capped sample of strings, so batching machines into
+/// one delta cannot change any exported aggregate.
+#[derive(Default)]
+struct WorkerDelta {
     recorder: LatencyRecorder,
     /// Per-tenant latency deltas (empty in a single-tenant fleet).
     tenant_recorders: Vec<LatencyRecorder>,
+    /// Per-machine utilization samples (permille), one per machine.
+    util: Histogram,
     processed: u64,
     dropped: u64,
     events: u64,
     vm_creates: u64,
     injected: u64,
-    util_permille: u64,
+    /// First few violations verbatim (capped at [`MAX_VIOLATIONS`]).
     violations: Vec<String>,
+    /// Total violations, including those over the cap.
+    violation_count: u64,
+    /// Max event-slab high-water mark across the worker's machines.
+    slab_hwm: usize,
+    /// Max rx/staging-ring high-water mark across the machines.
+    ring_hwm: usize,
+    /// Sum of resident backing bytes across the worker's machines,
+    /// sampled at the epoch boundary.
+    resident_bytes: u64,
 }
 
 /// One machine plus the cumulative-counter snapshots that turn its
@@ -397,6 +473,7 @@ impl MachineSlot {
         let mcfg = MachineConfig {
             seed: cfg.machine_seed(index),
             tenants: cfg.tenants.clone(),
+            footprint: cfg.footprint,
             ..MachineConfig::default()
         };
         let mut machine = Machine::new(mcfg, cfg.mode);
@@ -433,8 +510,19 @@ impl MachineSlot {
         }
     }
 
-    /// Applies `plan`, advances to `end`, drains the epoch's stats.
-    fn run_epoch(&mut self, cfg: &FleetConfig, end: SimTime, plan: &EpochPlan) -> EpochDelta {
+    /// Applies `plan`, advances to `end`, drains the epoch's stats
+    /// into `out` (accumulating on top of whatever sibling machines
+    /// already contributed this epoch). Steady state this allocates
+    /// nothing: recorders drain in place and the counters are plain
+    /// integer adds.
+    fn run_epoch_into(
+        &mut self,
+        cfg: &FleetConfig,
+        epoch: usize,
+        end: SimTime,
+        plan: &EpochPlan,
+        out: &mut WorkerDelta,
+    ) {
         let now = self.machine.now();
         let dp = self.machine.services().len() as u64;
         for f in &plan.flows {
@@ -456,8 +544,9 @@ impl MachineSlot {
         }
         self.machine.run_until(end);
 
-        let recorder = self.machine.drain_dp_recorders();
-        let tenant_recorders = self.machine.drain_tenant_recorders();
+        self.machine.drain_dp_recorders_into(&mut out.recorder);
+        self.machine
+            .drain_tenant_recorders_into(&mut out.tenant_recorders);
         let (mut processed, mut dropped) = (0u64, 0u64);
         for s in self.machine.services() {
             processed += s.processed();
@@ -469,31 +558,37 @@ impl MachineSlot {
             let sum: f64 = services.iter().map(|s| s.utilization(end)).sum();
             sum / services.len().max(1) as f64
         };
-        let violations = if cfg.check_invariants {
+        if cfg.check_invariants {
             let report = check_invariants(&self.machine);
-            report
-                .violations
-                .iter()
-                .map(|v| format!("machine {}: {v}", self.index))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let delta = EpochDelta {
-            recorder,
-            tenant_recorders,
-            processed: processed - self.last_processed,
-            dropped: dropped - self.last_dropped,
-            events: events - self.last_events,
-            vm_creates: plan.vm_creates as u64,
-            injected: plan.flows.len() as u64,
-            util_permille: (util * 1000.0).round() as u64,
-            violations,
-        };
+            out.violation_count += report.violations.len() as u64;
+            for v in &report.violations {
+                if out.violations.len() < MAX_VIOLATIONS {
+                    out.violations.push(format!("machine {}: {v}", self.index));
+                }
+            }
+        }
+        out.processed += processed - self.last_processed;
+        out.dropped += dropped - self.last_dropped;
+        out.events += events - self.last_events;
+        out.vm_creates += plan.vm_creates as u64;
+        out.injected += plan.flows.len() as u64;
+        out.util.record((util * 1000.0).round() as u64);
         self.last_processed = processed;
         self.last_dropped = dropped;
         self.last_events = events;
-        delta
+
+        // One epoch after the storm the creation burst has drained:
+        // release the slab/ring/overflow capacity it forced. Both
+        // drivers fire this at the same epoch; compaction touches only
+        // backing storage, never observable state, so the identity
+        // matrix pins that it changes no output byte.
+        if cfg.storm_epoch.map(|s| s + 1) == Some(epoch) {
+            self.machine.compact();
+        }
+        let (slab, ring) = self.machine.memory_high_watermarks();
+        out.slab_hwm = out.slab_hwm.max(slab);
+        out.ring_hwm = out.ring_hwm.max(ring);
+        out.resident_bytes += self.machine.resident_bytes() as u64;
     }
 }
 
@@ -537,6 +632,8 @@ struct RackAccum {
     post_storm: OnlineStats,
     violations: Vec<String>,
     violation_count: u64,
+    slab_hwm: usize,
+    ring_hwm: usize,
     // Current-epoch scratch (reset per epoch).
     epoch_rec: LatencyRecorder,
     epoch_processed: u64,
@@ -544,6 +641,8 @@ struct RackAccum {
     epoch_events: u64,
     epoch_injected: u64,
     epoch_vm_creates: u64,
+    epoch_resident: u64,
+    resident_bytes: u64,
 }
 
 impl RackAccum {
@@ -557,39 +656,62 @@ impl RackAccum {
             post_storm: OnlineStats::new(),
             violations: Vec::new(),
             violation_count: 0,
+            slab_hwm: 0,
+            ring_hwm: 0,
             epoch_rec: LatencyRecorder::new(),
             epoch_processed: 0,
             epoch_dropped: 0,
             epoch_events: 0,
             epoch_injected: 0,
             epoch_vm_creates: 0,
+            epoch_resident: 0,
+            resident_bytes: 0,
         }
     }
 
-    /// Folds one machine's epoch delta and discards it — the only
-    /// histograms alive are the rack aggregate and the current-epoch
-    /// scratch.
-    fn fold(&mut self, d: EpochDelta) {
-        self.epoch_rec.merge(&d.recorder);
+    /// Folds one worker's batched epoch delta and fully resets it, so
+    /// the caller can recycle the delta (its histogram buckets, tenant
+    /// vector, and string storage) into the next epoch. The only
+    /// histograms alive are the rack aggregates, the current-epoch
+    /// scratch, and one in-flight delta per worker.
+    fn fold_worker(&mut self, d: &mut WorkerDelta) {
+        d.recorder.drain_into(&mut self.epoch_rec);
         if self.tenant_rack.len() < d.tenant_recorders.len() {
             self.tenant_rack
                 .resize_with(d.tenant_recorders.len(), LatencyRecorder::new);
         }
-        for (agg, rec) in self.tenant_rack.iter_mut().zip(&d.tenant_recorders) {
-            agg.merge(rec);
+        for (agg, rec) in self
+            .tenant_rack
+            .iter_mut()
+            .zip(d.tenant_recorders.iter_mut())
+        {
+            rec.drain_into(agg);
         }
         self.epoch_processed += d.processed;
         self.epoch_dropped += d.dropped;
         self.epoch_events += d.events;
         self.epoch_injected += d.injected;
         self.epoch_vm_creates += d.vm_creates;
-        self.util_hist.record(d.util_permille);
-        self.violation_count += d.violations.len() as u64;
-        for v in d.violations {
+        self.util_hist.merge(&d.util);
+        self.violation_count += d.violation_count;
+        for v in d.violations.drain(..) {
             if self.violations.len() < MAX_VIOLATIONS {
                 self.violations.push(v);
             }
         }
+        self.slab_hwm = self.slab_hwm.max(d.slab_hwm);
+        self.ring_hwm = self.ring_hwm.max(d.ring_hwm);
+        self.epoch_resident += d.resident_bytes;
+        d.util.reset();
+        d.processed = 0;
+        d.dropped = 0;
+        d.events = 0;
+        d.injected = 0;
+        d.vm_creates = 0;
+        d.violation_count = 0;
+        d.slab_hwm = 0;
+        d.ring_hwm = 0;
+        d.resident_bytes = 0;
     }
 
     /// Closes the current epoch: emits its row, folds its latency
@@ -611,12 +733,16 @@ impl RackAccum {
             _ => self.pre_storm.push(row.packets as f64),
         }
         self.rack.merge(&self.epoch_rec);
-        self.epoch_rec = LatencyRecorder::new();
+        self.epoch_rec.reset();
         self.epoch_processed = 0;
         self.epoch_dropped = 0;
         self.epoch_events = 0;
         self.epoch_injected = 0;
         self.epoch_vm_creates = 0;
+        // The run-level figure is the *latest* epoch-boundary sample:
+        // resident memory after the final epoch, post any compaction.
+        self.resident_bytes = self.epoch_resident;
+        self.epoch_resident = 0;
         self.rows.push(row);
     }
 
@@ -660,6 +786,19 @@ pub struct FleetResult {
     pub violations: Vec<String>,
     /// Total invariant violations across all machines and epochs.
     pub violation_count: u64,
+    /// Max event-slab high-water mark (slots) across every machine.
+    /// Diagnostic only: the slab fill differs between queue backends
+    /// (the wheel fuses same-deadline events into fewer slots), so
+    /// this must never enter [`FleetResult::fingerprint`] or any
+    /// identity-compared table.
+    pub slab_high_watermark: usize,
+    /// Max rx/staging-ring high-water mark (packets) across every
+    /// machine. Diagnostic only, like the slab mark.
+    pub ring_high_watermark: usize,
+    /// Sum of per-machine resident backing bytes (event slab, wheel
+    /// chunks, rings) sampled at the final epoch boundary. Diagnostic
+    /// only: depends on footprint profile and backend.
+    pub resident_bytes: u64,
 }
 
 impl FleetResult {
@@ -773,27 +912,25 @@ impl FleetResult {
         t
     }
 
-    /// Whole-run rack summary table (a single row).
-    pub fn summary_table(&self) -> Table {
-        let mut t = Table::new(
-            "fleet rack summary",
-            &[
-                "machines",
-                "epochs",
-                "packets",
-                "p50 (ns)",
-                "p99 (ns)",
-                "p999 (ns)",
-                "max (ns)",
-                "mean (ns)",
-                "util p50 (pm)",
-                "storm epoch",
-                "recovery (epochs)",
-                "violations",
-            ],
-        );
+    /// Header of the identity-compared summary row.
+    const SUMMARY_HEADER: [&'static str; 12] = [
+        "machines",
+        "epochs",
+        "packets",
+        "p50 (ns)",
+        "p99 (ns)",
+        "p999 (ns)",
+        "max (ns)",
+        "mean (ns)",
+        "util p50 (pm)",
+        "storm epoch",
+        "recovery (epochs)",
+        "violations",
+    ];
+
+    fn summary_cells(&self) -> Vec<String> {
         let lat = self.rack.total_latency();
-        t.row(&[
+        vec![
             self.machines.to_string(),
             self.epochs.len().to_string(),
             self.rack.packets().to_string(),
@@ -810,7 +947,53 @@ impl FleetResult {
                 .map(|e| e.to_string())
                 .unwrap_or_else(|| "-".into()),
             self.violation_count.to_string(),
+        ]
+    }
+
+    /// Whole-run rack summary table (a single row). Every column here
+    /// is part of the identity contract (byte-identical across
+    /// backends, drivers, worker counts, and footprint profiles) —
+    /// memory diagnostics live in
+    /// [`FleetResult::summary_table_with_mem`] instead.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("fleet rack summary", &Self::SUMMARY_HEADER);
+        t.row(&self.summary_cells());
+        t
+    }
+
+    /// The summary row extended with memory diagnostics: slab/ring
+    /// high-water marks, resident bytes per machine, and (when the
+    /// caller measured one) the process peak RSS. These extra columns
+    /// are *not* identity-compared — slab fill differs between queue
+    /// backends, resident bytes between footprint profiles, and RSS
+    /// between runs — so nothing here may feed
+    /// [`FleetResult::fingerprint`].
+    pub fn summary_table_with_mem(&self, peak_rss_kb: Option<u64>) -> Table {
+        let mut header: Vec<&str> = Self::SUMMARY_HEADER.to_vec();
+        header.extend([
+            "slab hwm (slots)",
+            "ring hwm (pkts)",
+            "resident/machine (B)",
+            "peak rss (kB)",
+            "rss/machine (kB)",
         ]);
+        let mut cells = self.summary_cells();
+        let machines = self.machines.max(1) as u64;
+        cells.push(self.slab_high_watermark.to_string());
+        cells.push(self.ring_high_watermark.to_string());
+        cells.push((self.resident_bytes / machines).to_string());
+        cells.push(
+            peak_rss_kb
+                .map(|kb| kb.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        cells.push(
+            peak_rss_kb
+                .map(|kb| (kb / machines).to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        let mut t = Table::new("fleet rack summary", &header);
+        t.row(&cells);
         t
     }
 }
@@ -842,6 +1025,9 @@ fn finish(cfg: &FleetConfig, acc: RackAccum) -> FleetResult {
         recovery_epochs: recovery,
         violations: acc.violations,
         violation_count: acc.violation_count,
+        slab_high_watermark: acc.slab_hwm,
+        ring_high_watermark: acc.ring_hwm,
+        resident_bytes: acc.resident_bytes,
     }
 }
 
@@ -850,30 +1036,37 @@ fn run_sequential(cfg: &FleetConfig) -> FleetResult {
         .map(|i| MachineSlot::new(cfg, i))
         .collect();
     let mut acc = RackAccum::new();
+    let mut plans: Vec<EpochPlan> = Vec::new();
+    let mut scratch = WorkerDelta::default();
     for e in 0..cfg.epochs {
-        let plans = make_plans(cfg, e, acc.congested());
+        fill_plans(cfg, e, acc.congested(), &mut plans, None);
         let end = cfg.epoch_start(e + 1);
         for slot in &mut slots {
-            let delta = slot.run_epoch(cfg, end, &plans[slot.index]);
-            acc.fold(delta);
+            slot.run_epoch_into(cfg, e, end, &plans[slot.index], &mut scratch);
         }
+        acc.fold_worker(&mut scratch);
         acc.close_epoch(cfg, e);
     }
     finish(cfg, acc)
 }
 
-/// Per-epoch command sent to a worker: the epoch horizon plus the
-/// plans for exactly the machines that worker owns.
+/// Per-epoch command sent to a worker. Plans are *not* shipped: they
+/// are a pure function of `(cfg, epoch, congested)` and each worker
+/// recomputes its own shard locally ([`fill_plans`]). `recycle`
+/// returns the worker's previous delta — drained by the fold — so its
+/// backing storage is reused for the whole run.
 struct EpochCmd {
+    epoch: usize,
     end: SimTime,
-    plans: Vec<(usize, EpochPlan)>,
+    congested: bool,
+    recycle: Option<WorkerDelta>,
 }
 
 fn run_epoch_parallel(cfg: &FleetConfig, workers: usize) -> FleetResult {
     let workers = workers.min(cfg.machines.max(1));
     let mut acc = RackAccum::new();
     std::thread::scope(|scope| {
-        let (delta_tx, delta_rx) = mpsc::channel::<EpochDelta>();
+        let (delta_tx, delta_rx) = mpsc::channel::<WorkerDelta>();
         let mut cmd_txs = Vec::with_capacity(workers);
         for w in 0..workers {
             let (cmd_tx, cmd_rx) = mpsc::channel::<EpochCmd>();
@@ -884,41 +1077,61 @@ fn run_epoch_parallel(cfg: &FleetConfig, workers: usize) -> FleetResult {
                 // Machines are built *inside* the worker (`Machine` is
                 // deliberately `!Send`); worker `w` owns every index
                 // congruent to `w` mod `workers` and advances them in
-                // ascending order each epoch.
+                // ascending order each epoch. The plan buffer and the
+                // recycled delta live for the whole run, so a
+                // steady-state epoch performs O(machines) work with
+                // no per-event allocation.
                 let mut slots: Vec<MachineSlot> = (w..cfg.machines)
                     .step_by(workers)
                     .map(|i| MachineSlot::new(&cfg, i))
                     .collect();
+                let mut plans: Vec<EpochPlan> = Vec::new();
                 while let Ok(cmd) = cmd_rx.recv() {
-                    for (slot, (index, plan)) in slots.iter_mut().zip(cmd.plans.iter()) {
-                        debug_assert_eq!(slot.index, *index);
-                        let delta = slot.run_epoch(&cfg, cmd.end, plan);
-                        if delta_tx.send(delta).is_err() {
-                            return;
-                        }
+                    let mut delta = cmd.recycle.unwrap_or_default();
+                    fill_plans(
+                        &cfg,
+                        cmd.epoch,
+                        cmd.congested,
+                        &mut plans,
+                        Some((w, workers)),
+                    );
+                    for slot in &mut slots {
+                        slot.run_epoch_into(
+                            &cfg,
+                            cmd.epoch,
+                            cmd.end,
+                            &plans[slot.index],
+                            &mut delta,
+                        );
+                    }
+                    if delta_tx.send(delta).is_err() {
+                        return;
                     }
                 }
             });
         }
         drop(delta_tx);
+        // Drained deltas waiting to ride back out on the next command.
+        let mut recycled: Vec<WorkerDelta> = Vec::new();
         for e in 0..cfg.epochs {
-            let mut plans = make_plans(cfg, e, acc.congested());
+            let congested = acc.congested();
             let end = cfg.epoch_start(e + 1);
-            // Distribute each machine's plan to its owning worker.
-            let mut shards: Vec<Vec<(usize, EpochPlan)>> = vec![Vec::new(); workers];
-            for (i, p) in plans.drain(..).enumerate() {
-                shards[i % workers].push((i, p));
+            for tx in &cmd_txs {
+                tx.send(EpochCmd {
+                    epoch: e,
+                    end,
+                    congested,
+                    recycle: recycled.pop(),
+                })
+                .expect("worker alive while commands pending");
             }
-            for (tx, shard) in cmd_txs.iter().zip(shards) {
-                tx.send(EpochCmd { end, plans: shard })
-                    .expect("worker alive while commands pending");
-            }
-            // Fold deltas as they arrive: every exported aggregate is
-            // integer-exact (order-free), so arrival order is
-            // irrelevant — no per-machine buffering.
-            for _ in 0..cfg.machines {
-                let delta = delta_rx.recv().expect("every machine reports each epoch");
-                acc.fold(delta);
+            // Fold worker deltas as they arrive: every exported
+            // aggregate is integer-exact (order-free), so arrival
+            // order is irrelevant — one message per worker per epoch.
+            for _ in 0..workers {
+                let mut delta = delta_rx.recv().expect("every worker reports each epoch");
+                acc.fold_worker(&mut delta);
+                recycled.push(delta);
             }
             acc.close_epoch(cfg, e);
         }
@@ -959,6 +1172,67 @@ mod tests {
         let c = make_plans(&cfg, 2, true);
         let total = |ps: &[EpochPlan]| ps.iter().map(|p| p.flows.len()).sum::<usize>();
         assert!(total(&c) <= total(&a));
+    }
+
+    #[test]
+    fn sharded_fill_plans_partition_the_full_plan() {
+        let cfg = FleetConfig {
+            churn_per_epoch: 3.0,
+            ..tiny()
+        };
+        // Storm epoch 1 exercises the vm_create path too.
+        for epoch in [0, 1, 2] {
+            let full = make_plans(&cfg, epoch, false);
+            for workers in [1, 2, 3] {
+                let mut shard = Vec::new();
+                for w in 0..workers {
+                    fill_plans(&cfg, epoch, false, &mut shard, Some((w, workers)));
+                    for (i, (got, want)) in shard.iter().zip(&full).enumerate() {
+                        if i % workers == w {
+                            assert_eq!(got.vm_creates, want.vm_creates);
+                            assert_eq!(got.flows.len(), want.flows.len());
+                            for (f, g) in got.flows.iter().zip(&want.flows) {
+                                assert_eq!(f.at, g.at);
+                                assert_eq!(f.size, g.size);
+                                assert_eq!(f.dest_cpu, g.dest_cpu);
+                                assert_eq!(f.tenant, g.tenant);
+                            }
+                        } else {
+                            assert!(got.flows.is_empty(), "unowned machine {i} got flows");
+                            assert_eq!(got.vm_creates, 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_profiles_share_one_fingerprint() {
+        // No storm: the post-storm compact would converge both
+        // profiles' backing storage and mask the reservation gap.
+        let hot = FleetConfig {
+            footprint: FootprintProfile::Hot,
+            storm_epoch: None,
+            ..tiny()
+        };
+        let fleet = FleetConfig {
+            footprint: FootprintProfile::Fleet,
+            storm_epoch: None,
+            ..tiny()
+        };
+        let a = run(&hot, FleetDriver::Sequential);
+        let b = run(&fleet, FleetDriver::Sequential);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.epoch_table().to_csv(), b.epoch_table().to_csv());
+        // The footprint profile *does* change resident memory — that
+        // is its whole point — just never an observable.
+        assert!(
+            b.resident_bytes < a.resident_bytes,
+            "fleet profile must shrink backing storage ({} vs {})",
+            b.resident_bytes,
+            a.resident_bytes
+        );
     }
 
     #[test]

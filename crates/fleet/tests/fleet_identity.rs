@@ -1,7 +1,8 @@
 //! Fleet determinism matrix: the rack-level CSV and aggregate
 //! fingerprint must be **byte-identical** across
 //! `{wheel, heap}` queue backends × `{skip on, skip off}` ×
-//! `{sequential, epoch-parallel}` drivers × `{1, 4}` workers.
+//! `{sequential, epoch-parallel}` drivers × `{1, 4}` workers ×
+//! `{hot, fleet}` footprint profiles.
 //!
 //! This is the fleet analogue of `queue_backends.rs`: machine-level
 //! identity says one NIC's exports don't depend on the scheduling
@@ -14,7 +15,7 @@
 //! tests running concurrently in this binary would race on them.
 
 use taichi_fleet::{run, FleetConfig, FleetDriver};
-use taichi_sim::{QueueBackend, SimDuration};
+use taichi_sim::{FootprintProfile, QueueBackend, SimDuration};
 
 fn config() -> FleetConfig {
     FleetConfig {
@@ -36,7 +37,12 @@ struct Artifacts {
     summary_csv: String,
 }
 
-fn collect(backend: QueueBackend, skip: &str, driver: FleetDriver) -> Artifacts {
+fn collect(
+    backend: QueueBackend,
+    skip: &str,
+    driver: FleetDriver,
+    footprint: FootprintProfile,
+) -> Artifacts {
     std::env::set_var(
         "TAICHI_QUEUE",
         match backend {
@@ -46,13 +52,17 @@ fn collect(backend: QueueBackend, skip: &str, driver: FleetDriver) -> Artifacts 
     );
     std::env::set_var("TAICHI_SKIP", skip);
     assert_eq!(QueueBackend::from_env(), backend, "selector must resolve");
-    let result = run(&config(), driver);
+    let cfg = FleetConfig {
+        footprint,
+        ..config()
+    };
+    let result = run(&cfg, driver);
     std::env::remove_var("TAICHI_QUEUE");
     std::env::remove_var("TAICHI_SKIP");
     assert_eq!(
         result.violation_count, 0,
         "invariants must hold on every machine at every epoch boundary \
-         ({backend:?}/skip={skip}/{driver:?}): {:?}",
+         ({backend:?}/skip={skip}/{driver:?}/{footprint:?}): {:?}",
         result.violations
     );
     Artifacts {
@@ -76,8 +86,10 @@ fn rack_artifacts_are_byte_identical_across_the_matrix() {
         (QueueBackend::Heap, "off"),
     ];
 
+    let profiles = [FootprintProfile::Fleet, FootprintProfile::Hot];
+
     // Reference: the production cell under the reference driver.
-    let baseline = collect(cells[0].0, cells[0].1, drivers[0]);
+    let baseline = collect(cells[0].0, cells[0].1, drivers[0], profiles[0]);
     assert!(
         baseline.epoch_csv.lines().count() == config().epochs + 1,
         "one CSV row per epoch plus the header"
@@ -88,22 +100,24 @@ fn rack_artifacts_are_byte_identical_across_the_matrix() {
 
     for &(backend, skip) in &cells {
         for &driver in &drivers {
-            let other = collect(backend, skip, driver);
-            assert_eq!(
-                baseline.fingerprint, other.fingerprint,
-                "aggregate fingerprint differs: wheel/skip=on/Sequential \
-                 vs {backend:?}/skip={skip}/{driver:?}"
-            );
-            assert_eq!(
-                baseline.epoch_csv, other.epoch_csv,
-                "rack CSV differs: wheel/skip=on/Sequential \
-                 vs {backend:?}/skip={skip}/{driver:?}"
-            );
-            assert_eq!(
-                baseline.summary_csv, other.summary_csv,
-                "summary CSV differs: wheel/skip=on/Sequential \
-                 vs {backend:?}/skip={skip}/{driver:?}"
-            );
+            for &footprint in &profiles {
+                let other = collect(backend, skip, driver, footprint);
+                assert_eq!(
+                    baseline.fingerprint, other.fingerprint,
+                    "aggregate fingerprint differs: wheel/skip=on/Sequential/Fleet \
+                     vs {backend:?}/skip={skip}/{driver:?}/{footprint:?}"
+                );
+                assert_eq!(
+                    baseline.epoch_csv, other.epoch_csv,
+                    "rack CSV differs: wheel/skip=on/Sequential/Fleet \
+                     vs {backend:?}/skip={skip}/{driver:?}/{footprint:?}"
+                );
+                assert_eq!(
+                    baseline.summary_csv, other.summary_csv,
+                    "summary CSV differs: wheel/skip=on/Sequential/Fleet \
+                     vs {backend:?}/skip={skip}/{driver:?}/{footprint:?}"
+                );
+            }
         }
     }
 }

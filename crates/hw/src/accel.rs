@@ -107,7 +107,7 @@ struct DrrArbiter {
 }
 
 impl DrrArbiter {
-    fn new(weights: &[u64], quantum: u64, ring_capacity: usize) -> Self {
+    fn new(weights: &[u64], quantum: u64, ring_capacity: usize, eager: bool) -> Self {
         assert!(!weights.is_empty(), "arbiter needs at least one tenant");
         assert!(
             weights.iter().all(|&w| w > 0),
@@ -116,7 +116,9 @@ impl DrrArbiter {
         assert!(quantum > 0, "DRR quantum must be positive");
         let n = weights.len();
         DrrArbiter {
-            rings: (0..n).map(|_| RxQueue::new(ring_capacity)).collect(),
+            rings: (0..n)
+                .map(|_| RxQueue::with_eagerness(ring_capacity, eager))
+                .collect(),
             weights: weights.to_vec(),
             deficit: vec![0; n],
             quantum,
@@ -310,7 +312,22 @@ impl Accelerator {
     /// choice); `ring_capacity` bounds each tenant's staging ring
     /// (overflow packets are dropped and counted against that tenant).
     pub fn enable_tenants(&mut self, weights: &[u64], quantum: u64, ring_capacity: usize) {
-        self.arbiter = Some(DrrArbiter::new(weights, quantum, ring_capacity));
+        self.enable_tenants_with_eagerness(weights, quantum, ring_capacity, true);
+    }
+
+    /// [`Accelerator::enable_tenants`] with control over whether each
+    /// staging ring reserves its full capacity up front (`eager =
+    /// true`, the default) or grows its backing store on demand (fleet
+    /// footprint profiles). The per-tenant drop bound is identical
+    /// either way.
+    pub fn enable_tenants_with_eagerness(
+        &mut self,
+        weights: &[u64],
+        quantum: u64,
+        ring_capacity: usize,
+        eager: bool,
+    ) {
+        self.arbiter = Some(DrrArbiter::new(weights, quantum, ring_capacity, eager));
     }
 
     /// True when the multi-tenant ingress arbiter is active.
@@ -346,6 +363,35 @@ impl Accelerator {
         self.arbiter
             .as_ref()
             .map_or(0, |a| a.rings.iter().map(|q| q.total_lost()).sum())
+    }
+
+    /// Deepest occupancy ever observed across the tenant staging rings
+    /// (0 when single-tenant).
+    pub fn staged_high_watermark(&self) -> usize {
+        self.arbiter.as_ref().map_or(0, |a| {
+            a.rings
+                .iter()
+                .map(|q| q.high_watermark())
+                .max()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Releases each tenant staging ring's backing storage beyond its
+    /// current occupancy (capacity bounds untouched; observably inert).
+    pub fn compact_tenant_rings(&mut self) {
+        if let Some(a) = &mut self.arbiter {
+            for q in &mut a.rings {
+                q.compact();
+            }
+        }
+    }
+
+    /// Resident bytes across the tenant staging rings' backing stores.
+    pub fn tenant_ring_resident_bytes(&self) -> usize {
+        self.arbiter
+            .as_ref()
+            .map_or(0, |a| a.rings.iter().map(|q| q.resident_bytes()).sum())
     }
 
     /// When the shared ingest port next frees up — the earliest time

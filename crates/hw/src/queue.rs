@@ -31,9 +31,30 @@ impl RxQueue {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_eagerness(capacity, true)
+    }
+
+    /// Creates a ring with the given descriptor count, optionally
+    /// deferring the backing-store reservation.
+    ///
+    /// The descriptor-count *bound* is `capacity` either way — `push`
+    /// checks the logical length, so drop/reject accounting is
+    /// identical. A lazy ring (`eager = false`) just lets the backing
+    /// `VecDeque` grow to the occupancy the workload actually reaches,
+    /// which is what fleet footprint profiles want: a mostly-idle
+    /// machine's rings hold a handful of descriptors, not 1024.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_eagerness(capacity: usize, eager: bool) -> Self {
         assert!(capacity > 0, "rx ring needs at least one descriptor");
         RxQueue {
-            ring: VecDeque::with_capacity(capacity),
+            ring: if eager {
+                VecDeque::with_capacity(capacity)
+            } else {
+                VecDeque::new()
+            },
             capacity,
             enqueued: Counter::new(),
             dequeued: Counter::new(),
@@ -150,6 +171,19 @@ impl RxQueue {
     /// Deepest occupancy ever observed.
     pub fn high_watermark(&self) -> usize {
         self.high_watermark
+    }
+
+    /// Releases backing storage beyond the current occupancy. The
+    /// logical capacity bound (and with it every future drop/reject
+    /// decision) is untouched, so the call is observably inert — fleet
+    /// drivers use it to shed a storm peak's retained ring memory.
+    pub fn compact(&mut self) {
+        self.ring.shrink_to_fit();
+    }
+
+    /// Resident bytes of the ring's backing storage.
+    pub fn resident_bytes(&self) -> usize {
+        self.ring.capacity() * std::mem::size_of::<Packet>()
     }
 }
 

@@ -203,10 +203,11 @@ const LOC_OVERFLOW: u32 = u32::MAX - 1;
 /// Intrusive-list terminator.
 const NIL: u32 = u32::MAX;
 
-/// Slab capacity reserved at construction, sized so the in-flight
-/// high-water mark of a full machine (a few hundred events) never
-/// forces a mid-run doubling.
-const INITIAL_SLOTS: usize = 1024;
+/// Default slab capacity reserved at construction, sized so the
+/// in-flight high-water mark of a full machine (a few hundred events)
+/// never forces a mid-run doubling. Fleet footprint profiles override
+/// this via [`EventQueue::with_backend_and_slots`].
+pub const INITIAL_SLOTS: usize = 1024;
 
 /// Per-slot bookkeeping. A slot is bound to exactly one queued entry at
 /// a time; the generation distinguishes successive occupants. The slot
@@ -253,6 +254,79 @@ const N1: usize = 1 << L1_BITS;
 const L0_WORDS: usize = N0 / 64;
 const L1_WORDS: usize = N1 / 64;
 
+/// Lazy bucket-head storage: one optional 64-head chunk per occupancy
+/// bitmap word. A hot machine touches most of the calendar and ends up
+/// with every chunk allocated (256 B each — the same memory the old
+/// flat array held); a mostly-idle fleet machine whose events cluster
+/// in a few 64-bucket ranges only materializes the chunks it links
+/// into, so thousands of cold queues stop paying for 2048 + 256 eager
+/// head words apiece. Chunk presence is pure storage: `get` answers
+/// [`NIL`] for an absent chunk, which is exactly what the flat array
+/// held for an empty bucket, so pop order and cancel results are
+/// unaffected.
+struct HeadTable<const WORDS: usize> {
+    chunks: [Option<Box<[u32; 64]>>; WORDS],
+}
+
+impl<const WORDS: usize> HeadTable<WORDS> {
+    fn new() -> Self {
+        HeadTable {
+            chunks: std::array::from_fn(|_| None),
+        }
+    }
+
+    /// Head of bucket `b`, or [`NIL`] if the bucket (or its whole
+    /// chunk) is empty.
+    #[inline]
+    fn get(&self, b: usize) -> u32 {
+        match &self.chunks[b >> 6] {
+            Some(c) => c[b & 63],
+            None => NIL,
+        }
+    }
+
+    /// Mutable head slot for bucket `b`, materializing its chunk.
+    #[inline]
+    fn slot_mut(&mut self, b: usize) -> &mut u32 {
+        &mut self.chunks[b >> 6].get_or_insert_with(|| Box::new([NIL; 64]))[b & 63]
+    }
+
+    /// Reads and clears bucket `b`'s head without materializing an
+    /// absent chunk.
+    #[inline]
+    fn take(&mut self, b: usize) -> u32 {
+        match &mut self.chunks[b >> 6] {
+            Some(c) => std::mem::replace(&mut c[b & 63], NIL),
+            None => NIL,
+        }
+    }
+
+    /// Materializes every chunk up front (hot-profile prewarm): the
+    /// chunks hold only [`NIL`] heads, so nothing observable changes —
+    /// the steady-state loop just never pays a mid-run chunk
+    /// allocation.
+    fn materialize_all(&mut self) {
+        for chunk in &mut self.chunks {
+            chunk.get_or_insert_with(|| Box::new([NIL; 64]));
+        }
+    }
+
+    /// Releases chunks whose occupancy-bitmap word is zero (every head
+    /// in them is provably [`NIL`]).
+    fn release_empty(&mut self, mask: &[u64; WORDS]) {
+        for (chunk, &word) in self.chunks.iter_mut().zip(mask.iter()) {
+            if word == 0 {
+                *chunk = None;
+            }
+        }
+    }
+
+    /// Resident bytes held by materialized chunks.
+    fn resident_bytes(&self) -> usize {
+        self.chunks.iter().flatten().count() * std::mem::size_of::<[u32; 64]>()
+    }
+}
+
 /// The hierarchical wheel core. All invariants are phrased against
 /// `l0_end`, the exclusive upper bound of level-0 coverage (always a
 /// multiple of [`G1`]):
@@ -268,10 +342,10 @@ const L1_WORDS: usize = N1 / 64;
 /// - no cancelled entry is ever linked into a level-0/level-1 bucket
 ///   (wheel cancellation is eager there).
 struct Wheel {
-    l0_head: [u32; N0],
+    l0_head: HeadTable<L0_WORDS>,
     l0_mask: [u64; L0_WORDS],
     l0_count: usize,
-    l1_head: [u32; N1],
+    l1_head: HeadTable<L1_WORDS>,
     l1_mask: [u64; L1_WORDS],
     l1_count: usize,
     /// Exclusive upper bound of level-0 coverage (multiple of `G1`).
@@ -282,10 +356,10 @@ struct Wheel {
 impl Wheel {
     fn new() -> Box<Self> {
         Box::new(Wheel {
-            l0_head: [NIL; N0],
+            l0_head: HeadTable::new(),
             l0_mask: [0; L0_WORDS],
             l0_count: 0,
-            l1_head: [NIL; N1],
+            l1_head: HeadTable::new(),
             l1_mask: [0; L1_WORDS],
             l1_count: 0,
             l0_end: G1,
@@ -368,9 +442,10 @@ fn clear_bit(mask: &mut [u64], idx: usize) {
 #[inline]
 fn l0_link<E>(wheel: &mut Wheel, slots: &mut [Slot<E>], slot: u32) {
     let b = Wheel::l0_bucket(slots[slot as usize].time.as_nanos());
-    slots[slot as usize].next = wheel.l0_head[b];
+    let head = wheel.l0_head.slot_mut(b);
+    slots[slot as usize].next = *head;
     slots[slot as usize].loc = b as u32;
-    wheel.l0_head[b] = slot;
+    *head = slot;
     set_bit(&mut wheel.l0_mask, b);
     wheel.l0_count += 1;
 }
@@ -379,9 +454,10 @@ fn l0_link<E>(wheel: &mut Wheel, slots: &mut [Slot<E>], slot: u32) {
 #[inline]
 fn l1_link<E>(wheel: &mut Wheel, slots: &mut [Slot<E>], slot: u32) {
     let b = Wheel::l1_bucket(slots[slot as usize].time.as_nanos());
-    slots[slot as usize].next = wheel.l1_head[b];
+    let head = wheel.l1_head.slot_mut(b);
+    slots[slot as usize].next = *head;
     slots[slot as usize].loc = (N0 + b) as u32;
-    wheel.l1_head[b] = slot;
+    *head = slot;
     set_bit(&mut wheel.l1_mask, b);
     wheel.l1_count += 1;
 }
@@ -439,6 +515,14 @@ pub struct EventQueue<E> {
     /// wheel's overflow heap).
     cancelled: usize,
     now: SimTime,
+    /// Generation stamp for slots created by slab growth. Zero until
+    /// [`EventQueue::compact`] truncates the slab: freshly regrown
+    /// slots must start *above* every generation the truncated slots
+    /// ever issued, or a stale token from before the compaction could
+    /// alias a new occupant of the same index and cancel a live event.
+    gen_floor: u64,
+    /// Largest slab length ever reached, surviving compaction.
+    slab_hwm: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -455,28 +539,57 @@ impl<E> EventQueue<E> {
     }
 
     /// Creates an empty queue at time zero on an explicit backend.
+    ///
+    /// Reserves the full [`INITIAL_SLOTS`] slab: a realloc mid-run is
+    /// a steady-state allocation the hot loop is audited against (see
+    /// the zero_alloc test), and a transient burst that pushes the
+    /// in-flight high-water mark past the previous power of two would
+    /// reallocate long after warm-up. Reserving a generous slab up
+    /// front moves that first-touch growth to construction; full
+    /// machines peak at a few hundred in-flight events, so 1024 slots
+    /// leave ample headroom without meaningful memory cost — *for one
+    /// hot machine*. Fleet drivers standing up thousands of mostly-idle
+    /// machines use [`EventQueue::with_backend_and_slots`] with a small
+    /// reservation instead and let the slab grow to each machine's
+    /// actual working set.
     pub fn with_backend(backend: QueueBackend) -> Self {
+        let mut q = Self::with_backend_and_slots(backend, INITIAL_SLOTS);
+        q.prewarm();
+        q
+    }
+
+    /// Materializes every wheel bucket-head chunk up front (no-op on
+    /// the heap backend) so the steady-state loop never allocates one
+    /// mid-run — the hot-profile companion to the eager
+    /// [`INITIAL_SLOTS`] slab. Purely a storage decision: the chunks
+    /// hold only [`NIL`] heads, identical to absent chunks.
+    pub fn prewarm(&mut self) {
+        if let Core::Wheel(wheel) = &mut self.core {
+            wheel.l0_head.materialize_all();
+            wheel.l1_head.materialize_all();
+        }
+    }
+
+    /// Creates an empty queue at time zero on an explicit backend with
+    /// an explicit initial slab reservation. The slab still grows on
+    /// demand — `initial_slots` only sets where growth starts, so every
+    /// observable (pop order, cancel results, `peek_time`) is identical
+    /// for any value.
+    pub fn with_backend_and_slots(backend: QueueBackend, initial_slots: usize) -> Self {
         let core = match backend {
             QueueBackend::Heap => Core::Heap(BinaryHeap::new()),
             QueueBackend::Wheel => Core::Wheel(Wheel::new()),
         };
         EventQueue {
-            // The slab doubles on demand like any Vec, but a realloc
-            // mid-run is a steady-state allocation the hot loop is
-            // audited against (see the zero_alloc test): a transient
-            // burst that pushes the in-flight high-water mark past the
-            // previous power of two would reallocate long after
-            // warm-up. Reserving a generous slab up front moves that
-            // first-touch growth to construction; full machines peak at
-            // a few hundred in-flight events, so 1024 slots leave ample
-            // headroom without meaningful memory cost.
             core,
-            slots: Vec::with_capacity(INITIAL_SLOTS),
-            free: Vec::with_capacity(INITIAL_SLOTS),
+            slots: Vec::with_capacity(initial_slots),
+            free: Vec::with_capacity(initial_slots),
             next_seq: 0,
             live: 0,
             cancelled: 0,
             now: SimTime::ZERO,
+            gen_floor: 0,
+            slab_hwm: 0,
         }
     }
 
@@ -514,9 +627,9 @@ impl<E> EventQueue<E> {
         if let Core::Wheel(wheel) = &self.core {
             let t = time.as_nanos();
             let head = if t < wheel.l0_end {
-                Some(wheel.l0_head[Wheel::l0_bucket(t)])
+                Some(wheel.l0_head.get(Wheel::l0_bucket(t)))
             } else if t < wheel.h1() {
-                Some(wheel.l1_head[Wheel::l1_bucket(t)])
+                Some(wheel.l1_head.get(Wheel::l1_bucket(t)))
             } else {
                 None
             };
@@ -542,7 +655,7 @@ impl<E> EventQueue<E> {
             }
             None => {
                 self.slots.push(Slot {
-                    generation: 0,
+                    generation: self.gen_floor,
                     cancelled: false,
                     loc: LOC_NONE,
                     time,
@@ -636,10 +749,12 @@ impl<E> EventQueue<E> {
                 } else {
                     // The slab knows the bucket: remove eagerly so no
                     // cancelled entry ever sits in the wheel proper.
+                    // (`slot_mut` cannot allocate here — the entry is
+                    // linked into the bucket, so its chunk exists.)
                     let (head, mask, count, b) = if (loc as usize) < N0 {
                         let b = loc as usize;
                         (
-                            &mut wheel.l0_head[b],
+                            wheel.l0_head.slot_mut(b),
                             &mut wheel.l0_mask[..],
                             &mut wheel.l0_count,
                             b,
@@ -647,7 +762,7 @@ impl<E> EventQueue<E> {
                     } else {
                         let b = loc as usize - N0;
                         (
-                            &mut wheel.l1_head[b],
+                            wheel.l1_head.slot_mut(b),
                             &mut wheel.l1_mask[..],
                             &mut wheel.l1_count,
                             b,
@@ -789,7 +904,7 @@ impl<E> EventQueue<E> {
                     let Core::Wheel(wheel) = &mut self.core else {
                         unreachable!()
                     };
-                    let head = wheel.l0_head[b];
+                    let head = wheel.l0_head.get(b);
                     if head == NIL {
                         break;
                     }
@@ -833,7 +948,7 @@ impl<E> EventQueue<E> {
                 if wheel.l0_count > 0 {
                     let start = Wheel::l0_bucket(self.now.as_nanos().max(wheel.l0_end - G1));
                     let b = find_set_from(&wheel.l0_mask, start).expect("l0_count > 0");
-                    let (_, min) = list_min(&self.slots, wheel.l0_head[b]);
+                    let (_, min) = list_min(&self.slots, wheel.l0_head.get(b));
                     return Some(self.slots[min as usize].time);
                 }
                 if wheel.l1_count > 0 {
@@ -843,7 +958,7 @@ impl<E> EventQueue<E> {
                     // all overflow times are larger still).
                     let start = Wheel::l1_bucket(wheel.l0_end);
                     let b = find_set_from(&wheel.l1_mask, start).expect("l1_count > 0");
-                    let (_, min) = list_min(&self.slots, wheel.l1_head[b]);
+                    let (_, min) = list_min(&self.slots, wheel.l1_head.get(b));
                     return Some(self.slots[min as usize].time);
                 }
                 debug_assert!(wheel
@@ -871,7 +986,7 @@ impl<E> EventQueue<E> {
             if wheel.l0_count > 0 {
                 let start = Wheel::l0_bucket(self.now.as_nanos().max(wheel.l0_end - G1));
                 let b = find_set_from(&wheel.l0_mask, start).expect("l0_count > 0");
-                let (prev, min) = list_min(&self.slots, wheel.l0_head[b]);
+                let (prev, min) = list_min(&self.slots, wheel.l0_head.get(b));
                 let time = self.slots[min as usize].time;
                 if time > limit {
                     return None;
@@ -894,7 +1009,7 @@ impl<E> EventQueue<E> {
                 // monotone from the window position).
                 let cur = Wheel::l1_bucket(wheel.l0_end);
                 let b = find_set_from(&wheel.l1_mask, cur).expect("l1_count > 0");
-                let (_, min) = list_min(&self.slots, wheel.l1_head[b]);
+                let (_, min) = list_min(&self.slots, wheel.l1_head.get(b));
                 if self.slots[min as usize].time > limit {
                     // Check BEFORE advancing: a limited pop must leave
                     // the window where `now` can still reach it, or a
@@ -942,8 +1057,8 @@ impl<E> EventQueue<E> {
         let Core::Wheel(wheel) = &mut self.core else {
             unreachable!()
         };
-        list_unlink(&mut self.slots, &mut wheel.l0_head[b], prev, slot);
-        if wheel.l0_head[b] == NIL {
+        list_unlink(&mut self.slots, wheel.l0_head.slot_mut(b), prev, slot);
+        if wheel.l0_head.get(b) == NIL {
             clear_bit(&mut wheel.l0_mask, b);
         }
         wheel.l0_count -= 1;
@@ -993,8 +1108,7 @@ impl<E> EventQueue<E> {
                     wheel.l0_end += dist as u64 * G1;
                     let end = wheel.l0_end + G1;
                     let b1 = Wheel::l1_bucket(wheel.l0_end);
-                    let mut cur = wheel.l1_head[b1];
-                    wheel.l1_head[b1] = NIL;
+                    let mut cur = wheel.l1_head.take(b1);
                     clear_bit(&mut wheel.l1_mask, b1);
                     while cur != NIL {
                         let nxt = self.slots[cur as usize].next;
@@ -1113,6 +1227,78 @@ impl<E> EventQueue<E> {
             let entry = wheel.overflow.pop().expect("peeked non-empty");
             self.retire_queued(entry.slot);
         }
+    }
+
+    /// Releases memory retained past the current working set: trailing
+    /// free slab slots (and their spare capacity), the overflow/heap
+    /// storage's spare capacity, and bucket-head chunks whose buckets
+    /// are all empty. Bounded by the structures' current sizes and
+    /// observably inert — pop order, cancel results, and `peek_time`
+    /// are identical with or without the call — so fleet drivers can
+    /// invoke it after a storm peak without disturbing byte-identity.
+    /// Stale tokens referencing truncated slots stay dead: out-of-range
+    /// slots report the usual recorded-nothing `false`, and regrown
+    /// slots start above every truncated generation (`gen_floor`).
+    pub fn compact(&mut self) {
+        self.slab_hwm = self.slab_hwm.max(self.slots.len());
+        match &mut self.core {
+            Core::Heap(heap) => heap.shrink_to_fit(),
+            Core::Wheel(wheel) => {
+                wheel.overflow.shrink_to_fit();
+                wheel.l0_head.release_empty(&wheel.l0_mask);
+                wheel.l1_head.release_empty(&wheel.l1_mask);
+            }
+        }
+        // Drop the free tail of the slab: slots at the end that hold no
+        // queued entry can go, and the free list forgets them. Interior
+        // free slots stay (their indices are linked into live bucket
+        // lists' numbering); in practice post-storm slabs are a dense
+        // live prefix plus a long free tail.
+        let mut is_free = vec![false; self.slots.len()];
+        for &f in &self.free {
+            is_free[f as usize] = true;
+        }
+        let mut new_len = self.slots.len();
+        while new_len > 0 && is_free[new_len - 1] {
+            new_len -= 1;
+        }
+        if new_len < self.slots.len() {
+            let floor = self.slots[new_len..]
+                .iter()
+                .map(|s| s.generation + 1)
+                .max()
+                .unwrap_or(0);
+            self.gen_floor = self.gen_floor.max(floor);
+            self.slots.truncate(new_len);
+            self.free.retain(|&f| (f as usize) < new_len);
+        }
+        self.slots.shrink_to_fit();
+        self.free.shrink_to_fit();
+    }
+
+    /// Largest slab length ever reached (slots, not bytes), surviving
+    /// [`EventQueue::compact`] truncation — the storm-peak watermark
+    /// fleet stats report.
+    pub fn slab_high_watermark(&self) -> usize {
+        self.slab_hwm.max(self.slots.len())
+    }
+
+    /// Approximate resident bytes held by the queue's own structures
+    /// (slab, free list, heap storage, materialized bucket chunks).
+    /// Fused-member spill and payload-internal allocations are not
+    /// counted.
+    pub fn resident_bytes(&self) -> usize {
+        let slab = self.slots.capacity() * std::mem::size_of::<Slot<E>>();
+        let free = self.free.capacity() * std::mem::size_of::<u32>();
+        let core = match &self.core {
+            Core::Heap(heap) => heap.capacity() * std::mem::size_of::<Entry>(),
+            Core::Wheel(wheel) => {
+                wheel.overflow.capacity() * std::mem::size_of::<Entry>()
+                    + wheel.l0_head.resident_bytes()
+                    + wheel.l1_head.resident_bytes()
+            }
+        };
+        slab + free + core
     }
 
     /// Number of pending (non-cancelled) events.
@@ -1556,6 +1742,85 @@ mod tests {
         assert_eq!(q.slots.len(), 2, "coincident deadline fused");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec![10, 11, 20]);
+    }
+
+    #[test]
+    fn small_slab_grows_on_demand_with_identical_order() {
+        // A fleet-profile queue starting from a tiny slab must produce
+        // the exact pop order of the default reservation under a load
+        // that forces several mid-run doublings.
+        for be in BACKENDS {
+            let mut small = EventQueue::with_backend_and_slots(be, 2);
+            let mut big = EventQueue::with_backend(be);
+            for i in 0..3000u64 {
+                let t = SimTime::from_nanos(1 + (i * 7919) % 50_000);
+                small.schedule(t, i);
+                big.schedule(t, i);
+            }
+            loop {
+                let (a, b) = (small.pop(), big.pop());
+                assert_eq!(
+                    a.as_ref().map(|(t, e)| (*t, *e)),
+                    b.as_ref().map(|(t, e)| (*t, *e)),
+                    "{be:?}"
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_releases_storm_peak_and_keeps_tokens_dead() {
+        // A burst inflates the slab; compact() must shed the free tail,
+        // keep the high-water mark visible, and never let a
+        // pre-compaction token cancel a post-compaction occupant of a
+        // recycled slot index.
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend_and_slots(be, 4);
+            let stale: Vec<_> = (0..4000u64)
+                .map(|i| q.schedule(SimTime::from_nanos(i + 1), i))
+                .collect();
+            while q.pop().is_some() {}
+            let peak = q.slab_high_watermark();
+            assert!(peak >= 1000, "{be:?}: storm should inflate the slab");
+            q.compact();
+            assert!(q.slots.is_empty(), "{be:?}: free tail dropped");
+            assert_eq!(q.slab_high_watermark(), peak, "{be:?}: HWM survives");
+            // Regrow over the same indices; every stale token is dead.
+            let fresh: Vec<_> = (0..4000u64)
+                .map(|i| q.schedule(SimTime::from_nanos(10_000 + i), i))
+                .collect();
+            for t in stale {
+                assert!(!q.cancel(t), "{be:?}: stale token aliased a live slot");
+            }
+            assert_eq!(q.len(), 4000, "{be:?}");
+            for t in fresh.iter().step_by(2) {
+                assert!(q.cancel(*t), "{be:?}: fresh tokens stay cancellable");
+            }
+            let popped = std::iter::from_fn(|| q.pop()).count();
+            assert_eq!(popped, 2000, "{be:?}");
+        }
+    }
+
+    #[test]
+    fn compact_with_live_entries_is_inert() {
+        for be in BACKENDS {
+            let mut q = EventQueue::with_backend_and_slots(be, 4);
+            // Live entries across all wheel levels, plus churn to leave
+            // free slots behind them.
+            for i in 0..500u64 {
+                let t = q.schedule(SimTime::from_nanos(i + 1), i);
+                q.cancel(t);
+            }
+            q.schedule(SimTime::from_nanos(40), 1u64);
+            q.schedule(SimTime::from_micros(200), 2);
+            q.schedule(SimTime::from_secs(2), 3);
+            q.compact();
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec![1, 2, 3], "{be:?}");
+        }
     }
 
     #[test]

@@ -100,6 +100,20 @@ impl Histogram {
         self.sum_sq += other.sum_sq;
     }
 
+    /// Clears every sample while keeping the bucket vector's capacity,
+    /// so epoch-oriented drivers can drain a histogram into an
+    /// aggregate and reuse it allocation-free. Observably identical to
+    /// a freshly constructed histogram: trailing zero buckets never
+    /// affect counts, quantiles, or merges.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum_sq = 0.0;
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

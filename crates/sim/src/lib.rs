@@ -38,6 +38,7 @@ pub mod dist;
 pub mod env;
 pub mod event;
 pub mod fault;
+pub mod footprint;
 pub mod hist;
 pub mod inline_vec;
 pub mod par;
@@ -51,6 +52,7 @@ pub mod trace;
 pub use dist::{Dist, PreparedDist};
 pub use event::{EventQueue, EventToken, QueueBackend};
 pub use fault::{DegradePolicy, FaultInjector, FaultPlan, FaultStats, IpiFate};
+pub use footprint::FootprintProfile;
 pub use hist::Histogram;
 pub use inline_vec::InlineVec;
 pub use rng::Rng;

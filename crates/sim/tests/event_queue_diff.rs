@@ -356,6 +356,140 @@ fn overflow_cancel_storm_retires_every_slot() {
     }
 }
 
+/// Cold-start and sparse-occupancy differential for the fleet
+/// footprint path: a wheel born with a 2-slot slab and *no*
+/// materialized bucket-head chunks (`with_backend_and_slots` — the
+/// fleet profile's constructor) must stay observably identical to a
+/// fully prewarmed wheel and to the heap reference through:
+///
+/// - cold-start scheduling straight into absent chunks (the first
+///   link must materialize exactly the right chunk, not disturb pop
+///   order);
+/// - sparse occupancy — event clusters separated by whole 64-bucket
+///   chunk ranges, so most chunks stay absent while level hops cross
+///   them;
+/// - repeated [`EventQueue::compact`] calls at arbitrary moments
+///   (live entries pending, sometimes mid-cluster), which release
+///   empty chunks and truncate the slab: the generation floor must
+///   keep every pre-compaction token dead, and regrowth must not
+///   perturb ordering;
+/// - stale-token cancels across compactions on all three queues.
+#[test]
+fn cold_start_sparse_occupancy_matches_prewarmed_and_heap() {
+    let mut rng = Rng::new(0xC01D_57A7);
+    // The fleet-profile wheel: tiny slab, lazy chunks.
+    let mut small: EventQueue<u64> = EventQueue::with_backend_and_slots(QueueBackend::Wheel, 2);
+    // The hot-profile wheel: full slab, every chunk materialized.
+    let mut warm: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+    // The ordering reference.
+    let mut heap: EventQueue<u64> = EventQueue::with_backend_and_slots(QueueBackend::Heap, 2);
+    let mut tokens: Vec<(EventToken, EventToken, EventToken)> = Vec::new();
+    let mut next_payload = 0u64;
+    let mut pops = 0usize;
+
+    for step in 0..40_000usize {
+        match rng.next_below(8) {
+            0..=3 => {
+                // Sparse clusters: a tight 1 us burst, based either
+                // near now (level 0), a few ms out (level 1), or far
+                // out (overflow) — chunk ranges between clusters stay
+                // untouched.
+                let base = match rng.next_below(8) {
+                    0..=4 => rng.next_below(4) * 200_000,
+                    5 | 6 => 2_000_000 + rng.next_below(3) * 5_000_000,
+                    _ => 200_000_000,
+                };
+                let t = small.now() + SimDuration::from_nanos(base + rng.next_below(1_000));
+                let payload = next_payload;
+                next_payload += 1;
+                tokens.push((
+                    small.schedule(t, payload),
+                    warm.schedule(t, payload),
+                    heap.schedule(t, payload),
+                ));
+            }
+            4 if !tokens.is_empty() => {
+                // Cancels reach arbitrarily far back: post-compaction
+                // tokens from truncated slots must report dead on the
+                // small queue exactly when they do on the others.
+                let i = rng.next_below(tokens.len() as u64) as usize;
+                let (st, wt, ht) = tokens[i];
+                let a = small.cancel(st);
+                let b = warm.cancel(wt);
+                let c = heap.cancel(ht);
+                assert_eq!(a, b, "small/warm cancel diverged at step {step}");
+                assert_eq!(a, c, "small/heap cancel diverged at step {step}");
+            }
+            5 => {
+                // Compact the small queue mid-run (the fleet's
+                // post-storm trigger fires with live entries pending);
+                // occasionally compact the heap reference too — both
+                // are observable no-ops.
+                small.compact();
+                if rng.next_below(4) == 0 {
+                    heap.compact();
+                }
+            }
+            _ => {
+                let a = small.pop();
+                let b = warm.pop();
+                let c = heap.pop();
+                assert_eq!(a, b, "small/warm pop diverged at step {step}");
+                assert_eq!(a, c, "small/heap pop diverged at step {step}");
+                pops += usize::from(a.is_some());
+            }
+        }
+        assert_eq!(small.len(), heap.len(), "len diverged at step {step}");
+        assert_eq!(
+            small.peek_time(),
+            heap.peek_time(),
+            "peek_time diverged at step {step}"
+        );
+    }
+
+    // Full drain, then one more cold restart on the compacted queue.
+    loop {
+        let a = small.pop();
+        let b = warm.pop();
+        let c = heap.pop();
+        assert_eq!(a, b, "small/warm pop diverged during drain");
+        assert_eq!(a, c, "small/heap pop diverged during drain");
+        if a.is_none() {
+            break;
+        }
+        pops += 1;
+    }
+    assert!(pops > 5_000, "differential exercised too few pops: {pops}");
+    small.compact();
+    heap.compact();
+    // Post-drain compaction truncates the whole slab; scheduling again
+    // regrows from empty with the generation floor raised.
+    for i in 0..100u64 {
+        let t = small.now() + SimDuration::from_nanos(1 + i * 7);
+        tokens.push((
+            small.schedule(t, i),
+            warm.schedule(t, i),
+            heap.schedule(t, i),
+        ));
+    }
+    loop {
+        let a = small.pop();
+        let b = warm.pop();
+        let c = heap.pop();
+        assert_eq!(a, b, "regrown small/warm pop diverged");
+        assert_eq!(a, c, "regrown small/heap pop diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    // Every token ever issued is now dead on all three queues.
+    for (st, wt, ht) in tokens {
+        assert!(!small.cancel(st), "stale token revived on small queue");
+        assert!(!warm.cancel(wt));
+        assert!(!heap.cancel(ht));
+    }
+}
+
 /// Draws a time delta that lands across all three wheel levels:
 /// mostly dense near-future (level 0), a healthy share of level-1
 /// distances, and an occasional far-future overflow entry — plus
